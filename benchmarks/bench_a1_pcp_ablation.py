@@ -1,0 +1,90 @@
+"""Ablation A1 — which page-frame-cache properties carry the attack?
+
+DESIGN.md calls out two design dependencies of the steering step:
+
+* the **LIFO** discipline: the most recently freed frame is handed out
+  first.  Swapping it for FIFO (everything else equal) should collapse
+  immediate reuse, and with it the attack;
+* the **batch/high** sizing: steering must survive realistic cache
+  capacities, and noise tolerance should scale with ``high``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tabulate import format_table, write_results
+from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
+from repro.core import Machine, MachineConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.mm.pcp import PcpConfig
+
+TRIALS = 20
+
+
+def machine_with_pcp(pcp: PcpConfig, seed: int = 0) -> Machine:
+    return Machine(
+        MachineConfig(seed=seed, geometry=DRAMGeometry.small(), pcp=pcp)
+    )
+
+
+def steering_rate(machine: Machine, config: SteeringTrialConfig | None = None) -> float:
+    protocol = SteeringProtocol(machine)
+    return protocol.success_rate(TRIALS, config)
+
+
+def test_a1_discipline_ablation(benchmark):
+    # The attacker's buffer is NOT a multiple of the pcp batch, so the
+    # cache still holds frames when the staged page is freed — the
+    # realistic case where the discipline decides who gets the hot frame.
+    # (With an empty cache the staged frame is trivially both the oldest
+    # and the newest entry and FIFO would accidentally work too.)
+    trial = SteeringTrialConfig(attacker_buffer_pages=60, staged_page_index=30)
+    lifo = machine_with_pcp(PcpConfig(batch=16, high=96, discipline="lifo"))
+    fifo = machine_with_pcp(PcpConfig(batch=16, high=96, discipline="fifo"))
+    lifo_rate = steering_rate(lifo, trial)
+    fifo_rate = steering_rate(fifo, trial)
+
+    rows = [
+        ["lifo (Linux)", f"{lifo_rate:.0%}"],
+        ["fifo (ablated)", f"{fifo_rate:.0%}"],
+    ]
+    table = format_table(
+        ["pcp discipline", "steering success (1-page victim)"],
+        rows,
+        title="A1: cache discipline ablation — LIFO is load-bearing",
+    )
+
+    # Sizing sweep: batch/high vs noise tolerance.  Under 24 pages of
+    # interposed noise a 1-page victim request misses (the frame is
+    # buried), while a request larger than the noise digs through — for
+    # every realistic sizing.
+    rows2 = []
+    for batch, high in ((4, 16), (16, 96), (31, 186), (64, 384)):
+        clean = steering_rate(machine_with_pcp(PcpConfig(batch=batch, high=high)), trial)
+        buried = steering_rate(
+            machine_with_pcp(PcpConfig(batch=batch, high=high), seed=1),
+            SteeringTrialConfig(noise_pages=24, victim_request_pages=1),
+        )
+        digs = steering_rate(
+            machine_with_pcp(PcpConfig(batch=batch, high=high), seed=2),
+            SteeringTrialConfig(noise_pages=24, victim_request_pages=32),
+        )
+        rows2.append(
+            [f"batch={batch}, high={high}", f"{clean:.0%}", f"{buried:.0%}", f"{digs:.0%}"]
+        )
+    table2 = format_table(
+        [
+            "pcp sizing",
+            "clean steering",
+            "24 noise pages, 1-page victim",
+            "24 noise pages, 32-page victim",
+        ],
+        rows2,
+        title="A1b: pcp sizing sweep",
+    )
+    write_results("a1_pcp_ablation", table + "\n\n" + table2)
+
+    assert lifo_rate == 1.0
+    assert fifo_rate < 0.5
+
+    protocol = SteeringProtocol(machine_with_pcp(PcpConfig()))
+    benchmark.pedantic(lambda: protocol.run_trial(), rounds=20, iterations=1)

@@ -1,0 +1,90 @@
+"""Ablation A2 — DRAM vulnerability parameters vs attack feasibility.
+
+Sweeps the physical knobs the paper's threat model depends on:
+
+* weak-cell density — templating yield should scale with it, and a
+  module with no weak cells defeats the attack outright;
+* refresh interval — the standard 2x-refresh Rowhammer mitigation halves
+  the activation budget per window and should visibly suppress flips.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tabulate import format_table, write_results
+from repro.attack.templating import Templator, TemplatorConfig
+from repro.core import Machine, MachineConfig
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.timing import DRAMTiming
+from repro.sim.units import MIB
+
+CONFIG = TemplatorConfig(buffer_bytes=2 * MIB, rounds=650_000, batch_pairs=8)
+
+
+def templating_yield(flip_model: FlipModelConfig, timing: DRAMTiming, seed=0) -> int:
+    machine = Machine(
+        MachineConfig(
+            seed=seed,
+            geometry=DRAMGeometry.small(),
+            flip_model=flip_model,
+            timing=timing,
+        )
+    )
+    attacker = machine.kernel.spawn("attacker", cpu=0)
+    templator = Templator(machine.kernel, attacker.pid, CONFIG)
+    return templator.run().flips_found
+
+
+def test_a2_density_sweep(benchmark):
+    timing = DRAMTiming.ddr3_1600()
+    rows = []
+    yields = {}
+    for density in (0.0, 0.05, 0.2, 0.5):
+        model = FlipModelConfig(
+            weak_cells_per_row_mean=density,
+            threshold_mean=150_000,
+            threshold_sd=50_000,
+            threshold_min=40_000,
+        )
+        flips = templating_yield(model, timing)
+        yields[density] = flips
+        rows.append([density, flips, f"{flips / (CONFIG.buffer_bytes / (1 << 30)):.0f}"])
+    table = format_table(
+        ["weak cells / row (mean)", "flips in 2 MiB", "flips per GiB"],
+        rows,
+        title="A2: templating yield vs weak-cell density",
+    )
+
+    assert yields[0.0] == 0
+    assert yields[0.5] > yields[0.05]
+
+    # Refresh mitigation: same module, refresh rate raised Nx.  A 650k-round
+    # double-sided burst fits inside even a 32 ms window, so 2x refresh
+    # alone does not help (an accurate property of the mitigation!); the
+    # yield collapses once the per-window activation budget drops below
+    # the cells' thresholds (8x-16x for this module).
+    vulnerable = FlipModelConfig.highly_vulnerable()
+    rows2 = []
+    yields2 = {}
+    for factor in (1, 2, 8, 16, 32):
+        timing_n = DRAMTiming.fast_refresh(factor)
+        flips = templating_yield(vulnerable, timing_n, seed=1)
+        yields2[factor] = flips
+        budget = 2 * (timing_n.t_refw_ns // (2 * timing_n.t_rc_ns))
+        rows2.append(
+            [f"{64 // factor} ms ({factor}x refresh)", budget, flips]
+        )
+    table2 = format_table(
+        ["refresh window", "max double-sided disturbance/window", "flips in 2 MiB"],
+        rows2,
+        title="A2b: refresh-rate mitigation vs flip yield",
+    )
+    write_results("a2_flip_model", table + "\n\n" + table2)
+
+    assert yields2[32] < yields2[1]
+    assert yields2[16] <= yields2[2]
+
+    model = FlipModelConfig.highly_vulnerable()
+    benchmark.pedantic(
+        lambda: templating_yield(model, timing, seed=2), rounds=2, iterations=1
+    )

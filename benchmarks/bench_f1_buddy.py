@@ -1,0 +1,100 @@
+"""Experiment F1 — paper Fig. 1: the buddy allocation scheme.
+
+Reproduces the figure's story as a trace: a 1 MiB request (2^8 pages)
+arrives, a larger free block is split in half repeatedly until an order-8
+block exists, and on free the halves coalesce back.  The table shows
+/proc/buddyinfo-style free-list occupancy at each step plus the split and
+merge counters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tabulate import format_table, write_results
+from repro.mm.buddy import MAX_ORDER, BuddyAllocator
+from repro.mm.page import FrameTable
+from repro.sim.units import MIB, PAGE_SIZE
+
+ORDER_1MIB = 8  # 2^8 pages * 4 KiB = 1 MiB
+
+
+def fresh_buddy(pages: int = 8192) -> BuddyAllocator:
+    return BuddyAllocator(FrameTable(pages), 0, pages)
+
+
+def occupancy_row(label: str, buddy: BuddyAllocator) -> list[object]:
+    blocks = buddy.free_blocks_by_order()
+    return [label] + [blocks[order] for order in range(MAX_ORDER + 1)] + [
+        buddy.free_pages,
+        buddy.split_count,
+        buddy.merge_count,
+    ]
+
+
+def test_f1_buddy_allocation_scheme(benchmark):
+    buddy = fresh_buddy()
+    rows = [occupancy_row("initial", buddy)]
+
+    pfn = buddy.alloc(ORDER_1MIB)
+    rows.append(occupancy_row("after alloc 1 MiB", buddy))
+    splits_for_alloc = buddy.split_count
+
+    buddy.free(pfn, ORDER_1MIB)
+    rows.append(occupancy_row("after free (coalesced)", buddy))
+
+    headers = (
+        ["state"] + [f"o{order}" for order in range(MAX_ORDER + 1)]
+        + ["free pages", "splits", "merges"]
+    )
+    table = format_table(
+        headers,
+        rows,
+        title="F1: buddy allocator split/coalesce trace (Fig. 1)",
+    )
+    notes = (
+        f"\n1 MiB = order-{ORDER_1MIB} block; the request split a max-order "
+        f"block {splits_for_alloc} times ({MAX_ORDER - ORDER_1MIB} levels) and "
+        f"the free re-merged {buddy.merge_count} buddy pairs back to order "
+        f"{MAX_ORDER}."
+    )
+    write_results("f1_buddy", table + notes)
+
+    assert splits_for_alloc == MAX_ORDER - ORDER_1MIB
+    assert buddy.merge_count == MAX_ORDER - ORDER_1MIB
+    assert buddy.free_pages == 8192
+
+    def alloc_free_cycle():
+        head = buddy.alloc(ORDER_1MIB)
+        buddy.free(head, ORDER_1MIB)
+
+    benchmark.pedantic(alloc_free_cycle, rounds=200, iterations=1)
+
+
+def test_f1_fragmentation_recovery(benchmark):
+    """Interleaved order-0 churn fragments; full free re-coalesces."""
+    buddy = fresh_buddy()
+    held = [buddy.alloc(0) for _ in range(512)]
+    for pfn in held[::2]:
+        buddy.free(pfn, 0)
+    fragmented = buddy.fragmentation_index()
+    for pfn in held[1::2]:
+        buddy.free(pfn, 0)
+    recovered = buddy.fragmentation_index()
+
+    table = format_table(
+        ["state", "fragmentation index"],
+        [
+            ["512 order-0 held", f"{fragmented:.3f}"],
+            ["all freed", f"{recovered:.3f}"],
+        ],
+        title="F1b: coalescing defeats external fragmentation",
+    )
+    write_results("f1b_fragmentation", table)
+    assert recovered == 0.0
+    assert fragmented > 0.0
+
+    def churn():
+        pfns = [buddy.alloc(0) for _ in range(64)]
+        for pfn in pfns:
+            buddy.free(pfn, 0)
+
+    benchmark.pedantic(churn, rounds=50, iterations=1)

@@ -1,0 +1,57 @@
+"""Experiment T1 — paper Section V: page-frame reuse probability.
+
+Claim under test: *"with a probability of almost 1, if the process
+requests for a few pages, the recently deallocated page frames will be
+reallocated"*.  A task frees one frame and immediately requests 1..64
+pages; we measure how often the freed frame is among the frames returned,
+and how the probability degrades when other allocations intervene.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import summarize_rates
+from repro.analysis.tabulate import format_table, write_results
+from repro.attack.steering import SteeringProtocol
+from repro.core import Machine, MachineConfig
+
+TRIALS = 40
+
+
+def test_t1_reuse_vs_request_size(benchmark):
+    machine = Machine(MachineConfig.small(seed=0))
+    protocol = SteeringProtocol(machine)
+
+    rows = []
+    for request_pages in (1, 2, 4, 8, 16, 32, 64):
+        rate = protocol.reuse_probability(TRIALS, request_pages)
+        summary = summarize_rates(int(rate * TRIALS), TRIALS)
+        rows.append([request_pages, f"{rate:.2%}", f"[{summary.ci_low:.2%}, {summary.ci_high:.2%}]"])
+        # The paper's claim: ~1 for small requests.
+        assert rate == 1.0
+
+    table = format_table(
+        ["victim request (pages)", "P(freed frame reused)", "95% CI"],
+        rows,
+        title="T1: reuse probability of a just-freed frame vs request size",
+    )
+
+    rows2 = []
+    for intervening in (0, 1, 2, 4, 8, 16, 24):
+        rate = protocol.reuse_probability(
+            TRIALS, request_pages=1, intervening_allocations=intervening
+        )
+        rows2.append([intervening, f"{rate:.2%}"])
+    table2 = format_table(
+        ["intervening order-0 allocations", "P(freed frame reused, 1-page request)"],
+        rows2,
+        title="T1b: reuse probability decays once other allocations intervene",
+    )
+    write_results("t1_reuse_probability", table + "\n\n" + table2)
+
+    # With no interloper the reuse is certain; one interloper steals it.
+    assert protocol.reuse_probability(10, 1, intervening_allocations=0) == 1.0
+    assert protocol.reuse_probability(10, 1, intervening_allocations=4) < 0.5
+
+    benchmark.pedantic(
+        lambda: protocol.reuse_probability(5, 1), rounds=10, iterations=1
+    )

@@ -1,0 +1,30 @@
+"""Benchmark-suite fixtures.
+
+Every experiment builds fresh machines from fixed seeds, so the tables in
+``benchmarks/results/`` are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMGeometry
+
+
+def small_vulnerable(seed: int = 0) -> Machine:
+    """The standard attack-experiment machine: 64 MiB, dense weak cells."""
+    return Machine(
+        MachineConfig(
+            seed=seed,
+            geometry=DRAMGeometry.small(),
+            flip_model=FlipModelConfig.highly_vulnerable(),
+        )
+    )
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """Default 64 MiB machine."""
+    return Machine(MachineConfig.small(seed=0))

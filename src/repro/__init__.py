@@ -1,0 +1,69 @@
+"""repro — reproduction of *ExplFrame: Exploiting Page Frame Cache for
+Fault Analysis of Block Ciphers* (Chakraborty et al., DATE 2020) on a
+fully simulated substrate.
+
+The package layers bottom-up:
+
+* :mod:`repro.sim` — seeded randomness and simulated time;
+* :mod:`repro.dram` — DRAM geometry, row buffers, refresh and the
+  Rowhammer disturbance model;
+* :mod:`repro.mm` — the Linux allocator stack: buddy system, zones,
+  zonelists and the per-CPU page frame cache;
+* :mod:`repro.vm` / :mod:`repro.os` — page tables, address spaces,
+  tasks, scheduler, syscalls and the capability-gated pagemap;
+* :mod:`repro.ciphers` — AES and PRESENT with memory-resident tables;
+* :mod:`repro.pfa` — persistent fault analysis and a DFA baseline;
+* :mod:`repro.attack` — templating, page-frame-cache steering, and the
+  end-to-end ExplFrame attack with its baselines;
+* :mod:`repro.core` — :class:`~repro.core.machine.Machine` assembly and
+  result types;
+* :mod:`repro.analysis` — sweep/statistics helpers for the experiment
+  benchmarks.
+
+Quickstart::
+
+    from repro import Machine, MachineConfig, ExplFrameAttack
+
+    machine = Machine(MachineConfig.vulnerable(seed=7))
+    result = ExplFrameAttack(machine).run()
+    print(result.key_recovered, result.faulty_ciphertexts)
+"""
+
+from repro.attack import (
+    ExplFrameAttack,
+    ExplFrameConfig,
+    Hammerer,
+    PagemapAttack,
+    RandomSprayAttack,
+    SteeringProtocol,
+    SteeringTrialConfig,
+    Templator,
+    TemplatorConfig,
+)
+from repro.core import (
+    EndToEndResult,
+    Machine,
+    MachineConfig,
+    SteeringResult,
+    TemplatingResult,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EndToEndResult",
+    "ExplFrameAttack",
+    "ExplFrameConfig",
+    "Hammerer",
+    "Machine",
+    "MachineConfig",
+    "PagemapAttack",
+    "RandomSprayAttack",
+    "SteeringProtocol",
+    "SteeringResult",
+    "SteeringTrialConfig",
+    "TemplatingResult",
+    "Templator",
+    "TemplatorConfig",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Experiment harness utilities: sweeps, statistics and table rendering.
+
+Used by ``benchmarks/`` to regenerate every table and figure of
+EXPERIMENTS.md with consistent formatting and honest uncertainty
+estimates.
+"""
+
+from repro.analysis.charts import ascii_chart, sparkline
+from repro.analysis.stats import (
+    binomial_ci,
+    mean_and_ci,
+    summarize_rates,
+)
+from repro.analysis.sweep import Sweep, SweepPoint
+from repro.analysis.tabulate import format_table, write_results
+
+__all__ = [
+    "Sweep",
+    "SweepPoint",
+    "ascii_chart",
+    "binomial_ci",
+    "sparkline",
+    "format_table",
+    "mean_and_ci",
+    "summarize_rates",
+    "write_results",
+]

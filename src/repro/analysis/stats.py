@@ -1,0 +1,69 @@
+"""Small statistics helpers for experiment reporting.
+
+Success rates are binomial, so intervals come from the Wilson score
+(well-behaved at 0% and 100%, unlike the normal approximation); scalar
+measurements get a mean with a normal-approximation CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def binomial_ci(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} outside [0, {trials}]")
+    p_hat = successes / trials
+    denom = 1 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def mean_and_ci(values: list[float], z: float = 1.96) -> tuple[float, float]:
+    """(mean, half-width of the normal-approximation CI)."""
+    if not values:
+        raise ValueError("need at least one value")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, z * math.sqrt(variance / n)
+
+
+@dataclass(frozen=True)
+class RateSummary:
+    """A success rate with its Wilson interval, print-ready."""
+
+    successes: int
+    trials: int
+    rate: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.rate:.2%} ({self.successes}/{self.trials}, "
+            f"95% CI [{self.ci_low:.2%}, {self.ci_high:.2%}])"
+        )
+
+
+def summarize_rates(successes: int, trials: int) -> RateSummary:
+    """Bundle a binomial outcome with its Wilson interval."""
+    low, high = binomial_ci(successes, trials)
+    return RateSummary(
+        successes=successes,
+        trials=trials,
+        rate=successes / trials,
+        ci_low=low,
+        ci_high=high,
+    )

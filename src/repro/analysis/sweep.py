@@ -1,0 +1,68 @@
+"""Parameter sweeps over fresh machines.
+
+An experiment point is a function of a :class:`~repro.core.machine.Machine`
+built from a per-trial seed; the sweep runs it over a parameter grid with
+``trials`` independent seeds per point and collects the outcomes.  Fresh
+machines per trial keep points statistically independent and the whole
+sweep reproducible from the base seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.sim.rng import derive_seed
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: the parameter value and its per-trial outcomes."""
+
+    parameter: object
+    outcomes: list[object] = field(default_factory=list)
+
+    def successes(self) -> int:
+        """Count truthy outcomes (for success-rate experiments)."""
+        return sum(1 for outcome in self.outcomes if outcome)
+
+    @property
+    def trials(self) -> int:
+        """Number of trials run at this point."""
+        return len(self.outcomes)
+
+
+class Sweep:
+    """Runs ``trial_fn(machine, parameter)`` over a grid of parameters."""
+
+    def __init__(
+        self,
+        base_config: MachineConfig,
+        trial_fn: Callable[[Machine, object], object],
+        name: str = "sweep",
+    ):
+        self.base_config = base_config
+        self.trial_fn = trial_fn
+        self.name = name
+
+    def _trial_seed(self, parameter: object, trial: int) -> int:
+        return derive_seed(
+            self.base_config.seed, f"{self.name}/{parameter!r}/{trial}"
+        )
+
+    def run_point(self, parameter: object, trials: int) -> SweepPoint:
+        """Run one grid point with independent machines."""
+        if trials <= 0:
+            raise ValueError(f"trials must be positive, got {trials}")
+        point = SweepPoint(parameter=parameter)
+        for trial in range(trials):
+            config = self.base_config.with_seed(self._trial_seed(parameter, trial))
+            machine = Machine(config)
+            point.outcomes.append(self.trial_fn(machine, parameter))
+        return point
+
+    def run(self, parameters: list[object], trials: int) -> list[SweepPoint]:
+        """Run the whole grid."""
+        return [self.run_point(parameter, trials) for parameter in parameters]

@@ -1,0 +1,39 @@
+"""The ExplFrame attack (the paper's contribution) and its baselines.
+
+Pipeline, exactly as Sections V-VI describe:
+
+1. **Templating** (:mod:`repro.attack.templating`) — the unprivileged
+   attacker mmaps a large buffer, finds same-bank aggressor pairs by
+   *timing* (she cannot read physical addresses), hammers, and scans her
+   own memory for repeatable bit flips.
+2. **Steering** (:mod:`repro.attack.steering`) — she munmaps a page
+   containing a useful flip; the frame lands on the hot end of her CPU's
+   page frame cache; the co-resident victim's next small allocation
+   receives it.
+3. **Re-hammer + fault analysis** (:mod:`repro.attack.explframe`) — she
+   hammers the *same virtual addresses* again, flipping the same physical
+   cell, which now holds the victim's S-box; persistent fault analysis of
+   the victim's ciphertexts recovers the key.
+
+:mod:`repro.attack.baselines` implements the comparison points: a
+privileged pagemap-guided attack (upper bound) and an unsteered random
+spray (lower bound).
+"""
+
+from repro.attack.baselines import PagemapAttack, RandomSprayAttack
+from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
+from repro.attack.hammer import Hammerer
+from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
+from repro.attack.templating import Templator, TemplatorConfig
+
+__all__ = [
+    "ExplFrameAttack",
+    "ExplFrameConfig",
+    "Hammerer",
+    "PagemapAttack",
+    "RandomSprayAttack",
+    "SteeringProtocol",
+    "SteeringTrialConfig",
+    "Templator",
+    "TemplatorConfig",
+]

@@ -1,0 +1,151 @@
+"""Baseline attacks for comparison with ExplFrame.
+
+The paper positions its contribution between two existing points:
+
+* **Random spray** (lower bound) — prior unprivileged Rowhammer attacks
+  "either target a large address space" or rely on luck: the attacker
+  hammers her own buffer and hopes the victim's sensitive page happens to
+  sit in an adjacent row with a weak cell at a useful offset.  Success is
+  incidental and rare.
+* **Pagemap-guided attack** (upper bound) — with CAP_SYS_ADMIN the
+  attacker reads real PFNs, so she can *verify* frame placement instead
+  of trusting the cache discipline, retrying until the victim holds the
+  vulnerable frame.  ExplFrame's claim is that the page frame cache gets
+  the unprivileged attacker close to this bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attack.templating import Templator, TemplatorConfig
+from repro.ciphers.table_memory import DEFAULT_TABLE_OFFSET, CipherVictim
+from repro.core.machine import Machine
+from repro.os.capabilities import CapabilitySet
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE
+
+
+@dataclass
+class BaselineOutcome:
+    """Score sheet shared by the baseline attacks."""
+
+    templated_flips: int
+    fault_in_table: bool
+    attempts: int
+    hammer_rounds_total: int
+
+
+class RandomSprayAttack:
+    """Unprivileged hammering without steering (lower bound)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        key: bytes,
+        cpu: int = 0,
+        templator_config: TemplatorConfig | None = None,
+    ):
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.key = key
+        self.cpu = cpu
+        self.templator_config = templator_config or TemplatorConfig()
+
+    def run(self) -> BaselineOutcome:
+        """Victim allocates first; attacker sprays her own buffer.
+
+        The attacker has no influence over where the victim's table frame
+        sits, so a table fault requires the coincidence that the frame is
+        adjacent to one of her hammered rows *and* hosts an armed weak
+        cell in the table bytes.
+        """
+        victim = CipherVictim(self.kernel, self.key, cpu=self.cpu)
+        victim.allocate_table_page()
+        attacker = self.kernel.spawn("spray-attacker", cpu=self.cpu)
+        templator = Templator(self.kernel, attacker.pid, self.templator_config)
+        result = templator.run()
+        return BaselineOutcome(
+            templated_flips=result.flips_found,
+            fault_in_table=victim.table_is_faulty(),
+            attempts=1,
+            hammer_rounds_total=templator.hammerer.total_rounds,
+        )
+
+
+class PagemapAttack:
+    """CAP_SYS_ADMIN attacker with placement verification (upper bound)."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        key: bytes,
+        cpu: int = 0,
+        templator_config: TemplatorConfig | None = None,
+        max_attempts: int = 8,
+        table_offset: int = DEFAULT_TABLE_OFFSET,
+    ):
+        if max_attempts <= 0:
+            raise ConfigError("max_attempts must be positive")
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.key = key
+        self.cpu = cpu
+        self.templator_config = templator_config or TemplatorConfig()
+        self.max_attempts = max_attempts
+        self.table_offset = table_offset
+
+    def run(self) -> BaselineOutcome:
+        """Template, steer, and *verify* the landing through pagemap.
+
+        The privileged attacker runs the same steering protocol but reads
+        the victim's pagemap after each attempt; on a miss she restages
+        with the next usable template (or re-stages the same frame when it
+        comes back), up to ``max_attempts``.
+        """
+        attacker = self.kernel.spawn(
+            "pagemap-attacker", cpu=self.cpu, caps=CapabilitySet.root()
+        )
+        templator = Templator(self.kernel, attacker.pid, self.templator_config)
+        result = templator.run()
+        usable = [
+            template
+            for template in templator.templates_hitting_range(
+                result.templates, self.table_offset, self.table_offset + 256
+            )
+        ]
+        attempts = 0
+        faulted = False
+        for template in usable[: self.max_attempts]:
+            attempts += 1
+            # Privileged: read her own pagemap to learn the staged PFN.
+            own_map = self.kernel.pagemap(attacker.pid)
+            staged_entry = own_map.read(template.page_va)
+            if not staged_entry.pfn_visible:
+                continue
+            staged_pfn = staged_entry.pfn
+            self.kernel.sys_munmap(attacker.pid, template.page_va, PAGE_SIZE)
+            victim = CipherVictim(
+                self.kernel, self.key, cpu=self.cpu, table_offset=self.table_offset
+            )
+            victim.allocate_table_page()
+            # Privileged verification: did the victim's table land on it?
+            victim_map = self.kernel.pagemap(attacker.pid, victim.pid)
+            landed = victim_map.read(victim.sbox.va)
+            if not (landed.pfn_visible and landed.pfn == staged_pfn):
+                self.kernel.sys_exit(victim.pid)
+                continue
+            for _ in range(3):
+                templator.hammerer.hammer_pair(*template.aggressor_vas)
+                if victim.table_is_faulty():
+                    faulted = True
+                    break
+            if faulted:
+                break
+            self.kernel.sys_exit(victim.pid)
+        return BaselineOutcome(
+            templated_flips=result.flips_found,
+            fault_in_table=faulted,
+            attempts=attempts,
+            hammer_rounds_total=templator.hammerer.total_rounds,
+        )

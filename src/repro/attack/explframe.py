@@ -1,0 +1,334 @@
+"""End-to-end ExplFrame: template -> steer -> re-hammer -> PFA -> key.
+
+This is the complete attack the paper's title promises, run against a
+simulated AES victim:
+
+1. **Template.**  The unprivileged attacker finds repeatable flips in her
+   buffer and filters for ones usable against the victim's table: the flip
+   must land at an in-page offset inside the S-box region (the table's
+   offset within its page is public binary layout), and its direction must
+   be *armed* by the S-box data (a 1->0 cell needs the table bit to be 1).
+2. **Steer.**  She munmaps the flippy page and stays active; the victim
+   process starts up and makes its small table allocation on the shared
+   CPU, receiving the staged frame.
+3. **Re-hammer.**  She hammers the *same aggressor virtual addresses*
+   again; the same physical cell flips — now inside the victim's S-box.
+4. **Analyse.**  She triggers encryptions and runs Persistent Fault
+   Analysis; because she templated the flip she knows exactly which S-box
+   entry and bit changed (v* is known), so the missing-value statistics
+   give the last round key directly and the schedule inverts to the
+   master key.
+
+All scoring against ground truth (did steering land? is the table really
+faulty? does the key match?) uses instrumentation outside the attacker's
+view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attack.templating import Templator, TemplatorConfig
+from repro.ciphers.aes_tables import AES_SBOX
+from repro.ciphers.present import PRESENT_SBOX, Present
+from repro.ciphers.table_memory import DEFAULT_TABLE_OFFSET, CipherVictim
+from repro.core.machine import Machine
+from repro.core.results import EndToEndResult, FlipTemplate
+from repro.pfa.keyrank import KeyCandidates
+from repro.pfa.pfa import (
+    PfaState,
+    invert_key_schedule_128,
+    recover_k10_known_fault,
+)
+from repro.sim.errors import ConfigError, FaultError
+from repro.sim.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class ExplFrameConfig:
+    """Parameters of a full attack run.
+
+    ``cipher`` selects the victim implementation: ``"aes"`` (AES-128,
+    256-byte S-box, full master key via schedule inversion),
+    ``"aes_ttable"`` (classic T-table AES-128: Te0..Te3 fill the victim's
+    first table page and the last-round S-box sits in a second page, so
+    the attacker stages *two* frames and steers the flippy one into the
+    victim's second allocation), or ``"present"`` (PRESENT-80, 16-byte
+    nibble table; PFA yields the full 64-bit last round key, leaving a
+    16-bit schedule residue that ``present_full_search`` optionally
+    brute-forces — it costs tens of seconds of pure Python, so it is off
+    by default and accounted as 16 residual bits in the result).
+    """
+
+    templator: TemplatorConfig = field(default_factory=TemplatorConfig)
+    cpu: int = 0
+    cipher: str = "aes"
+    table_offset: int = DEFAULT_TABLE_OFFSET
+    pfa_batch: int = 256
+    pfa_limit: int = 20_000
+    rehammer_attempts: int = 3
+    present_full_search: bool = False
+    # Templating campaigns to run (each maps a fresh buffer) before giving
+    # up on finding a flip that lands in the table region with an armed
+    # direction.  Small tables (PRESENT's 16 bytes) typically need several.
+    max_campaigns: int = 4
+
+    def __post_init__(self) -> None:
+        if self.cipher not in ("aes", "aes_ttable", "present"):
+            raise ConfigError(
+                f"cipher must be 'aes', 'aes_ttable' or 'present', got {self.cipher!r}"
+            )
+        if not 0 <= self.table_offset <= PAGE_SIZE - self.table_size:
+            raise ConfigError(
+                f"table at offset {self.table_offset:#x} does not fit in a page"
+            )
+        if self.pfa_batch <= 0 or self.pfa_limit <= 0:
+            raise ConfigError("pfa_batch and pfa_limit must be positive")
+        if self.max_campaigns <= 0:
+            raise ConfigError("max_campaigns must be positive")
+
+    @property
+    def table_size(self) -> int:
+        """Bytes of (last-round) S-box the victim keeps in memory."""
+        return 16 if self.cipher == "present" else 256
+
+
+class ExplFrameAttack:
+    """Drives one attacker task through the full attack."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        key: bytes | None = None,
+        config: ExplFrameConfig | None = None,
+    ):
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.config = config or ExplFrameConfig()
+        rng = machine.rng.stream("victim.key")
+        key_bytes = 10 if self.config.cipher == "present" else 16
+        self.true_key = (
+            key if key is not None else bytes(rng.randrange(256) for _ in range(key_bytes))
+        )
+        self.attacker = self.kernel.spawn("explframe-attacker", cpu=self.config.cpu)
+        self.templator = Templator(self.kernel, self.attacker.pid, self.config.templator)
+
+    # -- stage 1: templating -------------------------------------------------------
+
+    def usable_templates(self, templates: list[FlipTemplate]) -> list[FlipTemplate]:
+        """Templates that can fault the victim's S-box.
+
+        The flip must land inside the table's in-page byte range and its
+        direction must be armed by the clean S-box data at that position.
+        """
+        in_range = self.templator.templates_hitting_range(
+            templates,
+            self.config.table_offset,
+            self.config.table_offset + self.config.table_size,
+        )
+        clean_table = PRESENT_SBOX if self.config.cipher == "present" else AES_SBOX
+        usable = []
+        for template in in_range:
+            # PRESENT stores one nibble per byte: only flips in the low
+            # nibble change the cipher (the implementation masks with 0xF).
+            if self.config.cipher == "present" and template.bit > 3:
+                continue
+            sbox_index = template.page_offset - self.config.table_offset
+            table_bit = (clean_table[sbox_index] >> template.bit) & 1
+            # A 0->1 cell rests at 0 and needs the stored bit to be 0;
+            # a 1->0 cell needs it to be 1.
+            needed = 0 if template.flips_to_one else 1
+            if table_bit == needed:
+                usable.append(template)
+        return usable
+
+    # -- stage 2+3: steer and re-hammer ----------------------------------------------
+
+    def _pick_sacrificial_page(self, template: FlipTemplate) -> int:
+        """A resident buffer page that is neither the flip nor an aggressor.
+
+        Used by the two-allocation (T-table) steering: the attacker frees
+        it *after* the flippy page so it sits on top of the cache and
+        absorbs the victim's first allocation (the Te page), leaving the
+        flippy frame for the second (the S-box page).
+        """
+        forbidden = {template.page_va}
+        forbidden.update(va & ~(PAGE_SIZE - 1) for va in template.aggressor_vas)
+        base = self.templator.buffer_va
+        for index in range(self.templator.buffer_pages):
+            candidate = base + index * PAGE_SIZE
+            if candidate in forbidden:
+                continue
+            if self.attacker.mm.page_table.is_mapped(candidate):
+                return candidate
+        raise ConfigError("no sacrificial page available in the buffer")
+
+    def _stage_and_steer(self, template: FlipTemplate) -> tuple[CipherVictim, int, bool]:
+        """Unmap the flippy page (and helpers), let the victim allocate.
+
+        For single-table victims the flippy frame must be the *next*
+        allocation; for the T-table victim it must be the *second*, so a
+        sacrificial frame is staged on top of it.
+        """
+        victim = CipherVictim(
+            self.kernel,
+            self.true_key,
+            cpu=self.config.cpu,
+            cipher=self.config.cipher,
+            table_offset=self.config.table_offset,
+        )
+        staged_pfn = self.kernel.pfn_of(self.attacker.pid, template.page_va)
+        if self.config.cipher == "aes_ttable":
+            sacrificial_va = self._pick_sacrificial_page(template)
+            self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
+            self.kernel.sys_munmap(self.attacker.pid, sacrificial_va, PAGE_SIZE)
+        else:
+            self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
+        # The attacker stays active; the victim's small allocations come
+        # straight off the shared CPU's page frame cache in LIFO order.
+        landed_pfn = victim.allocate_table_page()
+        steering_success = landed_pfn == staged_pfn
+        return victim, staged_pfn, steering_success
+
+    def _rehammer(self, template: FlipTemplate, victim: CipherVictim) -> bool:
+        """Hammer the template's aggressors until the victim table faults."""
+        for _ in range(self.config.rehammer_attempts):
+            self.templator.hammerer.hammer_pair(*template.aggressor_vas)
+            if victim.table_is_faulty():
+                return True
+        return False
+
+    # -- stage 4: fault analysis ----------------------------------------------------
+
+    def _run_pfa(self, victim: CipherVictim, v_star: int) -> tuple[bytes | None, int, float]:
+        """Collect faulty ciphertexts and recover the master key.
+
+        Returns (key or None, ciphertexts consumed, log2 of the residual
+        key space when recovery stopped).
+        """
+        rng = self.machine.rng.numpy_stream("attack.plaintexts")
+        state = PfaState()
+        while state.total < self.config.pfa_limit:
+            state.update(victim.encrypt_batch(self.config.pfa_batch, rng))
+            if state.is_unique():
+                break
+        if not state.is_unique():
+            return None, state.total, state.log2_keyspace()
+        candidates = KeyCandidates(recover_k10_known_fault(state, v_star))
+        try:
+            k10 = candidates.unique_key()
+            master = invert_key_schedule_128(k10)
+        except FaultError:
+            return None, state.total, candidates.log2_keyspace
+        return master, state.total, 0.0
+
+    def _run_pfa_present(self, victim: CipherVictim, v_star: int) -> tuple[bytes | None, int, float]:
+        """PRESENT variant: recover K32 (and optionally the master key).
+
+        Returns (key material or None, ciphertexts consumed, residual
+        bits).  Without ``present_full_search`` the returned material is
+        the 8-byte last round key and 16 bits remain (the schedule's
+        hidden register bits); with it, the master key is brute-forced
+        from one clean pair.
+        """
+        from repro.pfa.pfa_present import (
+            ciphertexts_to_unique_k32,
+            recover_k32_known_fault,
+            recover_present80_key,
+        )
+
+        rng = self.machine.rng.stream("attack.present-plaintexts")
+        plaintexts = [
+            bytes(rng.randrange(256) for _ in range(8))
+            for _ in range(self.config.pfa_limit)
+        ]
+        try:
+            consumed, state = ciphertexts_to_unique_k32(
+                victim.encrypt, lambda i: plaintexts[i], limit=self.config.pfa_limit
+            )
+        except FaultError:
+            return None, self.config.pfa_limit, 64.0
+        if not self.config.present_full_search:
+            k32 = recover_k32_known_fault(state, v_star)
+            return k32.to_bytes(8, "big"), consumed, 16.0
+        # One clean pair: captured before the fault in a real attack; here
+        # reconstructed from the true key (ground-truth plumbing).
+        clean_pt = bytes(8)
+        clean_ct = Present(self.true_key).encrypt_block(clean_pt)
+        master = recover_present80_key(state, v_star, clean_pt, clean_ct)
+        return master, consumed, 0.0 if master is not None else 16.0
+
+    # -- the full chain ---------------------------------------------------------------
+
+    def run(self) -> EndToEndResult:
+        """Execute the complete attack and score it against ground truth.
+
+        Templating campaigns repeat over fresh buffers (up to
+        ``max_campaigns``) until a flip usable against the victim's table
+        is found — attackers template as much memory as it takes.
+        """
+        start_ns = self.kernel.clock.now_ns
+        total_flips = 0
+        total_rounds = 0
+        usable: list[FlipTemplate] = []
+        for _ in range(self.config.max_campaigns):
+            templating = self.templator.run()
+            total_flips += templating.flips_found
+            usable = self.usable_templates(templating.templates)
+            if usable:
+                break
+            total_rounds += self.templator.hammerer.total_rounds
+            self.templator = Templator(
+                self.kernel, self.attacker.pid, self.config.templator
+            )
+        if not usable:
+            return EndToEndResult(
+                templated_flips=total_flips,
+                steering_success=False,
+                fault_in_table=False,
+                faulty_ciphertexts=0,
+                key_recovered=False,
+                recovered_key=None,
+                true_key=self.true_key,
+                hammer_rounds_total=total_rounds,
+                syscalls_total=self.attacker.syscall_count,
+                sim_time_ns=self.kernel.clock.now_ns - start_ns,
+            )
+        template = usable[0]
+        victim, _, steering_success = self._stage_and_steer(template)
+        faulted = self._rehammer(template, victim)
+
+        recovered = None
+        consumed = 0
+        residual_bits = None
+        if faulted:
+            sbox_index = template.page_offset - self.config.table_offset
+            if self.config.cipher == "present":
+                v_star = PRESENT_SBOX[sbox_index]
+                recovered, consumed, residual_bits = self._run_pfa_present(
+                    victim, v_star
+                )
+            else:
+                v_star = AES_SBOX[sbox_index]
+                recovered, consumed, residual_bits = self._run_pfa(victim, v_star)
+
+        if self.config.cipher != "present" or self.config.present_full_search:
+            target = self.true_key
+        else:
+            # Success criterion for the fast PRESENT path: the full 64-bit
+            # last round key (a 16-bit schedule residue remains).
+            target = Present(self.true_key).round_keys[31].to_bytes(8, "big")
+
+        return EndToEndResult(
+            templated_flips=total_flips,
+            steering_success=steering_success,
+            fault_in_table=faulted,
+            faulty_ciphertexts=consumed,
+            key_recovered=recovered is not None and recovered == target,
+            recovered_key=recovered,
+            true_key=self.true_key,
+            hammer_rounds_total=total_rounds + self.templator.hammerer.total_rounds,
+            syscalls_total=self.attacker.syscall_count,
+            log2_keyspace_after_pfa=residual_bits,
+            sim_time_ns=self.kernel.clock.now_ns - start_ns,
+        )

@@ -1,0 +1,172 @@
+"""Page-frame-cache steering (paper Section V).
+
+The protocol under test:
+
+1. the attacker maps and touches a buffer, so she owns real frames;
+2. she munmaps one chosen page — its frame lands on the **hot end** of her
+   CPU's page frame cache;
+3. she stays *active* (never sleeps) and waits;
+4. the victim, co-resident on the CPU, makes a small allocation — the
+   kernel serves it from the page frame cache, handing over exactly the
+   staged frame "with a probability of almost 1".
+
+The protocol object runs instrumented trials of this dance and scores
+them with ground truth (did the victim's new frames include the staged
+one?).  Knobs cover everything the paper discusses: victim request size,
+same-CPU vs cross-CPU placement, interleaved noise from other processes,
+and the failure mode where the attacker sleeps and the cache is drained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.machine import Machine
+from repro.core.results import SteeringResult
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class SteeringTrialConfig:
+    """Parameters of one steering trial."""
+
+    victim_request_pages: int = 1
+    same_cpu: bool = True
+    noise_pages: int = 0
+    attacker_sleeps: bool = False
+    attacker_buffer_pages: int = 64
+    staged_page_index: int = 32  # which buffer page the attacker stages
+
+    def __post_init__(self) -> None:
+        if self.victim_request_pages <= 0:
+            raise ConfigError("victim_request_pages must be positive")
+        if self.attacker_buffer_pages <= 1:
+            raise ConfigError("attacker needs at least two buffer pages")
+        if not 0 <= self.staged_page_index < self.attacker_buffer_pages:
+            raise ConfigError("staged_page_index outside the buffer")
+        if self.noise_pages < 0:
+            raise ConfigError("noise_pages must be non-negative")
+
+
+class SteeringProtocol:
+    """Runs instrumented steering trials on one machine."""
+
+    def __init__(self, machine: Machine, attacker_cpu: int = 0):
+        if not 0 <= attacker_cpu < machine.num_cpus:
+            raise ConfigError(f"attacker_cpu {attacker_cpu} out of range")
+        self.machine = machine
+        self.kernel = machine.kernel
+        self.attacker_cpu = attacker_cpu
+
+    def _victim_cpu(self, same_cpu: bool) -> int:
+        if same_cpu:
+            return self.attacker_cpu
+        if self.machine.num_cpus < 2:
+            raise ConfigError("cross-CPU trial needs at least two CPUs")
+        return (self.attacker_cpu + 1) % self.machine.num_cpus
+
+    def run_trial(self, config: SteeringTrialConfig | None = None) -> SteeringResult:
+        """One full stage -> (noise) -> victim-allocate round, scored."""
+        config = config or SteeringTrialConfig()
+        kernel = self.kernel
+        attacker = kernel.spawn("attacker", cpu=self.attacker_cpu)
+        buffer_va = kernel.sys_mmap(
+            attacker.pid, config.attacker_buffer_pages * PAGE_SIZE, name="stage-buffer"
+        )
+        for index in range(config.attacker_buffer_pages):
+            kernel.mem_write(attacker.pid, buffer_va + index * PAGE_SIZE, b"\x5a")
+
+        staged_va = buffer_va + config.staged_page_index * PAGE_SIZE
+        staged_pfn = kernel.pfn_of(attacker.pid, staged_va)
+        kernel.sys_munmap(attacker.pid, staged_va, PAGE_SIZE)
+
+        if config.noise_pages:
+            noise = kernel.spawn("noise", cpu=self.attacker_cpu)
+            kernel.churn(noise.pid, config.noise_pages)
+            kernel.sys_exit(noise.pid)
+
+        if config.attacker_sleeps:
+            kernel.sys_sleep(attacker.pid)
+
+        victim_cpu = self._victim_cpu(config.same_cpu)
+        victim = kernel.spawn("victim", cpu=victim_cpu)
+        victim_va = kernel.sys_mmap(
+            victim.pid, config.victim_request_pages * PAGE_SIZE, name="victim-data"
+        )
+        victim_pfns = []
+        for index in range(config.victim_request_pages):
+            kernel.mem_write(victim.pid, victim_va + index * PAGE_SIZE, b"\xc3")
+            victim_pfns.append(kernel.pfn_of(victim.pid, victim_va + index * PAGE_SIZE))
+
+        result = SteeringResult(
+            steered_pfn=staged_pfn,
+            victim_pfns=victim_pfns,
+            success=staged_pfn in victim_pfns,
+            victim_request_pages=config.victim_request_pages,
+            same_cpu=config.same_cpu,
+            noise_pages=config.noise_pages,
+        )
+
+        # Tear down so repeated trials on one machine stay independent.
+        kernel.sys_exit(victim.pid)
+        if config.attacker_sleeps:
+            kernel.sys_wake(attacker.pid)
+        kernel.sys_exit(attacker.pid)
+        return result
+
+    def success_rate(
+        self,
+        trials: int,
+        config: SteeringTrialConfig | None = None,
+    ) -> float:
+        """Fraction of ``trials`` in which the victim received the frame."""
+        if trials <= 0:
+            raise ConfigError("trials must be positive")
+        successes = sum(self.run_trial(config).success for _ in range(trials))
+        return successes / trials
+
+    def reuse_probability(
+        self,
+        trials: int,
+        request_pages: int,
+        intervening_allocations: int = 0,
+    ) -> float:
+        """Experiment T1: P(just-freed frame reallocated to the next request).
+
+        A single task frees one page and then allocates ``request_pages``;
+        with ``intervening_allocations`` other order-0 allocations slipped
+        in between.  This isolates the page-frame-cache reuse property the
+        paper states "holds with a probability of almost 1".
+        """
+        if trials <= 0 or request_pages <= 0:
+            raise ConfigError("trials and request_pages must be positive")
+        kernel = self.kernel
+        hits = 0
+        for _ in range(trials):
+            task = kernel.spawn("reuser", cpu=self.attacker_cpu)
+            va = kernel.sys_mmap(task.pid, 8 * PAGE_SIZE)
+            for index in range(8):
+                kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"\x11")
+            freed_pfn = kernel.pfn_of(task.pid, va)
+            kernel.sys_munmap(task.pid, va, PAGE_SIZE)
+            if intervening_allocations:
+                other = kernel.spawn("interloper", cpu=self.attacker_cpu)
+                other_va = kernel.sys_mmap(
+                    other.pid, intervening_allocations * PAGE_SIZE
+                )
+                for index in range(intervening_allocations):
+                    kernel.mem_write(
+                        other.pid, other_va + index * PAGE_SIZE, b"\x22"
+                    )
+            new_va = kernel.sys_mmap(task.pid, request_pages * PAGE_SIZE)
+            got = []
+            for index in range(request_pages):
+                kernel.mem_write(task.pid, new_va + index * PAGE_SIZE, b"\x33")
+                got.append(kernel.pfn_of(task.pid, new_va + index * PAGE_SIZE))
+            if freed_pfn in got:
+                hits += 1
+            kernel.sys_exit(task.pid)
+            if intervening_allocations:
+                kernel.sys_exit(other.pid)
+        return hits / trials

@@ -1,0 +1,44 @@
+"""Block ciphers with memory-resident lookup tables.
+
+The DATE title of the paper — *fault analysis of block ciphers* — needs
+ciphers whose S-boxes live in ordinary data pages, because that is what a
+persistent Rowhammer fault corrupts.  This package provides:
+
+* full AES-128/192/256 (:mod:`repro.ciphers.aes`), with the S-box
+  generated from GF(2^8) arithmetic rather than pasted constants;
+* a NumPy batch encryptor (:mod:`repro.ciphers.batch`) for the
+  ciphertext-hungry persistent-fault-analysis sweeps;
+* PRESENT-80/128 (:mod:`repro.ciphers.present`) as a second, lightweight
+  cipher exercising the same fault model;
+* :mod:`repro.ciphers.table_memory` — S-boxes resident in a simulated
+  task's pages, read through the kernel on use, so DRAM bit flips become
+  persistent cipher faults;
+* :mod:`repro.ciphers.faults` — direct software fault injection for
+  experiments that study the analysis in isolation.
+"""
+
+from repro.ciphers.aes import AES, InvalidKeySize
+from repro.ciphers.aes_tables import AES_SBOX, AES_INV_SBOX, generate_sbox
+from repro.ciphers.aes_ttable import AES_TE_TABLES, AesTTable, generate_te_tables
+from repro.ciphers.batch import aes128_encrypt_batch
+from repro.ciphers.faults import FaultSpec, apply_fault, diff_sboxes
+from repro.ciphers.present import Present
+from repro.ciphers.table_memory import CipherVictim, MemorySBox
+
+__all__ = [
+    "AES",
+    "AES_INV_SBOX",
+    "AES_SBOX",
+    "AES_TE_TABLES",
+    "AesTTable",
+    "CipherVictim",
+    "generate_te_tables",
+    "FaultSpec",
+    "InvalidKeySize",
+    "MemorySBox",
+    "Present",
+    "aes128_encrypt_batch",
+    "apply_fault",
+    "diff_sboxes",
+    "generate_sbox",
+]

@@ -1,0 +1,189 @@
+"""AES-128/192/256, byte-oriented, with a pluggable S-box source.
+
+The implementation is deliberately the *table-lookup* style the fault-
+analysis literature attacks: SubBytes reads a 256-byte table on every
+block.  The table comes from a provider callable, which in the experiments
+is a view of a page inside a simulated victim process — so a persistent
+DRAM fault in that page corrupts every subsequent encryption, exactly the
+fault model of Persistent Fault Analysis (Zhang et al., TCHES 2018).
+
+State layout is the FIPS-197 column-major order: flat index ``r + 4*c``.
+Blocks and keys are ``bytes``; round keys are expanded once (with a chosen
+S-box, by default the clean one) and reused.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ciphers.aes_tables import (
+    AES_INV_SBOX,
+    AES_RCON,
+    AES_SBOX,
+    INV_SHIFT_ROWS_PERM,
+    SHIFT_ROWS_PERM,
+    gf_mul,
+)
+
+SBoxProvider = Callable[[], bytes]
+
+
+class InvalidKeySize(ValueError):
+    """Key length is not 16, 24 or 32 bytes."""
+
+
+_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+def expand_key(key: bytes, sbox: bytes = AES_SBOX) -> list[bytes]:
+    """FIPS-197 key expansion; returns ``rounds + 1`` 16-byte round keys.
+
+    The S-box is a parameter so experiments can model a fault landing
+    *before* key expansion; by default the clean table is used (round keys
+    are normally computed once at startup, before the attacker hammers).
+    """
+    if len(key) not in _ROUNDS:
+        raise InvalidKeySize(f"key must be 16/24/32 bytes, got {len(key)}")
+    nk = len(key) // 4
+    rounds = _ROUNDS[len(key)]
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+    for i in range(nk, 4 * (rounds + 1)):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = temp[1:] + temp[:1]  # RotWord
+            temp = [sbox[b] for b in temp]  # SubWord
+            temp[0] ^= AES_RCON[i // nk - 1]
+        elif nk > 6 and i % nk == 4:
+            temp = [sbox[b] for b in temp]
+        words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+    round_keys = []
+    for r in range(rounds + 1):
+        chunk = words[4 * r : 4 * r + 4]
+        round_keys.append(bytes(b for word in chunk for b in word))
+    return round_keys
+
+
+def _mix_single_column(col: list[int]) -> list[int]:
+    a0, a1, a2, a3 = col
+    return [
+        gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3,
+        a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3,
+        a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3),
+        gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2),
+    ]
+
+
+def _inv_mix_single_column(col: list[int]) -> list[int]:
+    a0, a1, a2, a3 = col
+    return [
+        gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9),
+        gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13),
+        gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11),
+        gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14),
+    ]
+
+
+# MixColumns is hot; precompute the xtime tables once.
+_MUL2 = bytes(gf_mul(x, 2) for x in range(256))
+_MUL3 = bytes(gf_mul(x, 3) for x in range(256))
+
+
+class AES:
+    """One AES context: expanded round keys plus an S-box source."""
+
+    def __init__(
+        self,
+        key: bytes,
+        sbox_provider: SBoxProvider | None = None,
+        key_schedule_sbox: bytes = AES_SBOX,
+    ):
+        self.key = bytes(key)
+        self.rounds = _ROUNDS.get(len(self.key))
+        if self.rounds is None:
+            raise InvalidKeySize(f"key must be 16/24/32 bytes, got {len(key)}")
+        self.round_keys = expand_key(self.key, key_schedule_sbox)
+        self._sbox_provider = sbox_provider or (lambda: AES_SBOX)
+
+    def current_sbox(self) -> bytes:
+        """Fetch the S-box from the provider (may be faulty)."""
+        sbox = self._sbox_provider()
+        if len(sbox) != 256:
+            raise ValueError(f"S-box must be 256 bytes, got {len(sbox)}")
+        return sbox
+
+    # -- encryption ------------------------------------------------------------
+
+    def encrypt_block(
+        self,
+        plaintext: bytes,
+        transient_fault: tuple[int, int] | None = None,
+    ) -> bytes:
+        """Encrypt one 16-byte block with the provider's current S-box.
+
+        ``transient_fault`` is an optional ``(position, xor_mask)`` applied
+        to the state immediately before the final SubBytes — the classic
+        last-round DFA fault model, used by the baseline analysis.
+        """
+        if len(plaintext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(plaintext)}")
+        sbox = self.current_sbox()
+        state = [p ^ k for p, k in zip(plaintext, self.round_keys[0])]
+        for round_index in range(1, self.rounds):
+            state = [sbox[b] for b in state]
+            state = [state[SHIFT_ROWS_PERM[i]] for i in range(16)]
+            mixed = []
+            for c in range(4):
+                a0, a1, a2, a3 = state[4 * c : 4 * c + 4]
+                mixed += [
+                    _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3,
+                    a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3,
+                    a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3],
+                    _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3],
+                ]
+            key = self.round_keys[round_index]
+            state = [b ^ k for b, k in zip(mixed, key)]
+        # Final round: no MixColumns.
+        if transient_fault is not None:
+            position, mask = transient_fault
+            if not 0 <= position < 16:
+                raise ValueError(f"fault position {position} out of range [0, 16)")
+            state = list(state)
+            state[position] ^= mask & 0xFF
+        state = [sbox[b] for b in state]
+        state = [state[SHIFT_ROWS_PERM[i]] for i in range(16)]
+        return bytes(b ^ k for b, k in zip(state, self.round_keys[self.rounds]))
+
+    # -- decryption (always with the clean inverse table) -------------------------
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one block using the clean inverse S-box.
+
+        Decryption exists for correctness tests; the fault experiments only
+        ever need encryption (the attacker sees ciphertexts).
+        """
+        if len(ciphertext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(ciphertext)}")
+        state = [c ^ k for c, k in zip(ciphertext, self.round_keys[self.rounds])]
+        state = [state[INV_SHIFT_ROWS_PERM[i]] for i in range(16)]
+        state = [AES_INV_SBOX[b] for b in state]
+        for round_index in range(self.rounds - 1, 0, -1):
+            key = self.round_keys[round_index]
+            state = [b ^ k for b, k in zip(state, key)]
+            unmixed = []
+            for c in range(4):
+                unmixed += _inv_mix_single_column(state[4 * c : 4 * c + 4])
+            state = [unmixed[INV_SHIFT_ROWS_PERM[i]] for i in range(16)]
+            state = [AES_INV_SBOX[b] for b in state]
+        return bytes(b ^ k for b, k in zip(state, self.round_keys[0]))
+
+    def encrypt_many(self, plaintexts: list[bytes]) -> list[bytes]:
+        """Encrypt a list of blocks, re-reading the S-box once per block."""
+        return [self.encrypt_block(p) for p in plaintexts]
+
+
+def mix_columns_reference(state: list[int]) -> list[int]:
+    """Reference MixColumns over a flat column-major state (for tests)."""
+    out = []
+    for c in range(4):
+        out += _mix_single_column(state[4 * c : 4 * c + 4])
+    return out

@@ -1,0 +1,97 @@
+"""AES constant tables, generated from first principles.
+
+The S-box is computed — multiplicative inverse in GF(2^8) modulo the AES
+polynomial, followed by the affine transform — rather than pasted in, so
+tests can verify the generator against the two published anchor values
+(S[0x00] = 0x63, S[0x53] = 0xED) and trust the rest.
+"""
+
+from __future__ import annotations
+
+AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two elements of GF(2^8) modulo the AES polynomial."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        if a & 0x100:
+            a ^= AES_POLY
+        b >>= 1
+    return result
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise ``a`` to the ``n``-th power in GF(2^8)."""
+    result = 1
+    base = a
+    while n:
+        if n & 1:
+            result = gf_mul(result, base)
+        base = gf_mul(base, base)
+        n >>= 1
+    return result
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); 0 maps to 0 by AES convention."""
+    if a == 0:
+        return 0
+    # The multiplicative group has order 255, so a^-1 = a^254.
+    return gf_pow(a, 254)
+
+
+def _affine(x: int) -> int:
+    """The AES affine transform over GF(2)^8."""
+    result = 0
+    for bit in range(8):
+        value = (
+            (x >> bit)
+            ^ (x >> ((bit + 4) % 8))
+            ^ (x >> ((bit + 5) % 8))
+            ^ (x >> ((bit + 6) % 8))
+            ^ (x >> ((bit + 7) % 8))
+            ^ (0x63 >> bit)
+        ) & 1
+        result |= value << bit
+    return result
+
+
+def generate_sbox() -> bytes:
+    """The AES S-box: affine(inverse(x)) for every byte value."""
+    return bytes(_affine(gf_inverse(x)) for x in range(256))
+
+
+def invert_sbox(sbox: bytes) -> bytes:
+    """Inverse table of any bijective 256-byte S-box."""
+    if len(sbox) != 256 or len(set(sbox)) != 256:
+        raise ValueError("S-box must be a bijection over 256 byte values")
+    inverse = bytearray(256)
+    for index, value in enumerate(sbox):
+        inverse[value] = index
+    return bytes(inverse)
+
+
+def generate_rcon(count: int = 10) -> tuple[int, ...]:
+    """Round constants: successive powers of 2 in GF(2^8)."""
+    rcon = []
+    value = 1
+    for _ in range(count):
+        rcon.append(value)
+        value = gf_mul(value, 2)
+    return tuple(rcon)
+
+
+AES_SBOX = generate_sbox()
+AES_INV_SBOX = invert_sbox(AES_SBOX)
+AES_RCON = generate_rcon(14)
+
+# ShiftRows as a permutation of the flat, column-major state: the byte at
+# output position i comes from input position SHIFT_ROWS_PERM[i].
+# Column-major layout: state[r + 4*c] for row r, column c; row r rotates
+# left by r.
+SHIFT_ROWS_PERM = tuple((i + 4 * (i % 4)) % 16 for i in range(16))
+INV_SHIFT_ROWS_PERM = tuple(SHIFT_ROWS_PERM.index(i) for i in range(16))

@@ -1,0 +1,141 @@
+"""T-table AES-128: the classic software implementation under attack.
+
+Production AES software (pre-AES-NI OpenSSL and friends) merges SubBytes,
+ShiftRows and MixColumns into four 1 KiB lookup tables Te0..Te3 of 32-bit
+words, with a plain S-box (often called Te4) for the final round.  The
+whole working set is five tables in ordinary data pages — exactly the
+target surface of a persistent memory fault.
+
+Fault behaviour, which the tests pin down:
+
+* a fault in the **last-round S-box** gives the canonical PFA setting:
+  one ciphertext-byte value becomes impossible and the key falls out
+  (same analysis as :mod:`repro.pfa.pfa`);
+* a fault in **Te0..Te3** corrupts inner rounds: ciphertexts are wrong,
+  but the final-round statistics stay uniform, so the missing-value
+  analysis never converges — the attacker must land her flip in the
+  last-round table's page, which is why ExplFrame templates for a
+  specific in-page offset range.
+
+Tables are generated from the same GF(2^8) arithmetic as the scalar
+implementation and both are cross-checked against FIPS-197 vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.ciphers.aes import expand_key
+from repro.ciphers.aes_tables import AES_SBOX, gf_mul
+
+TableProvider = Callable[[], bytes]
+
+
+def generate_te_tables() -> bytes:
+    """Te0..Te3 as 4096 bytes (4 tables x 256 big-endian 32-bit words).
+
+    ``Te0[x]`` holds the MixColumns contribution of a substituted row-0
+    byte: ``(2s, s, s, 3s)``; Te1..Te3 are its byte rotations.
+    """
+    te0 = []
+    for x in range(256):
+        s = AES_SBOX[x]
+        word = (gf_mul(s, 2) << 24) | (s << 16) | (s << 8) | gf_mul(s, 3)
+        te0.append(word)
+
+    def rotate_right_8(word: int) -> int:
+        """Byte-rotate a 32-bit word right (Te(i+1) from Te(i))."""
+        return ((word >> 8) | ((word & 0xFF) << 24)) & 0xFFFFFFFF
+
+    tables = [te0]
+    for _ in range(3):
+        tables.append([rotate_right_8(word) for word in tables[-1]])
+    out = bytearray()
+    for table in tables:
+        for word in table:
+            out += word.to_bytes(4, "big")
+    return bytes(out)
+
+
+AES_TE_TABLES = generate_te_tables()
+
+
+def _parse_te(raw: bytes) -> list[list[int]]:
+    if len(raw) != 4096:
+        raise ValueError(f"Te tables must be 4096 bytes, got {len(raw)}")
+    tables = []
+    for index in range(4):
+        base = index * 1024
+        tables.append(
+            [
+                int.from_bytes(raw[base + 4 * i : base + 4 * i + 4], "big")
+                for i in range(256)
+            ]
+        )
+    return tables
+
+
+class AesTTable:
+    """AES-128 encryption through Te0..Te3 plus a last-round S-box.
+
+    Both table sets come from providers, so either can live in (and be
+    faulted through) simulated memory.  Only encryption is implemented —
+    the fault experiments never need the inverse cipher.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        te_provider: TableProvider | None = None,
+        sbox_provider: TableProvider | None = None,
+    ):
+        if len(key) != 16:
+            raise ValueError(f"T-table context is AES-128 only; key of {len(key)} bytes")
+        self.key = bytes(key)
+        self.round_key_words = [
+            [int.from_bytes(rk[4 * c : 4 * c + 4], "big") for c in range(4)]
+            for rk in expand_key(self.key)
+        ]
+        self._te_provider = te_provider or (lambda: AES_TE_TABLES)
+        self._sbox_provider = sbox_provider or (lambda: AES_SBOX)
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one block with the providers' current tables."""
+        if len(plaintext) != 16:
+            raise ValueError(f"block must be 16 bytes, got {len(plaintext)}")
+        te0, te1, te2, te3 = _parse_te(self._te_provider())
+        sbox = self._sbox_provider()
+        if len(sbox) != 256:
+            raise ValueError(f"S-box must be 256 bytes, got {len(sbox)}")
+
+        columns = [
+            int.from_bytes(plaintext[4 * c : 4 * c + 4], "big")
+            ^ self.round_key_words[0][c]
+            for c in range(4)
+        ]
+        for round_index in range(1, 10):
+            rk = self.round_key_words[round_index]
+            columns = [
+                te0[columns[c] >> 24]
+                ^ te1[(columns[(c + 1) % 4] >> 16) & 0xFF]
+                ^ te2[(columns[(c + 2) % 4] >> 8) & 0xFF]
+                ^ te3[columns[(c + 3) % 4] & 0xFF]
+                ^ rk[c]
+                for c in range(4)
+            ]
+        rk = self.round_key_words[10]
+        final = [
+            (
+                (sbox[columns[c] >> 24] << 24)
+                | (sbox[(columns[(c + 1) % 4] >> 16) & 0xFF] << 16)
+                | (sbox[(columns[(c + 2) % 4] >> 8) & 0xFF] << 8)
+                | sbox[columns[(c + 3) % 4] & 0xFF]
+            )
+            ^ rk[c]
+            for c in range(4)
+        ]
+        return b"".join(word.to_bytes(4, "big") for word in final)
+
+    def encrypt_many(self, plaintexts: list[bytes]) -> list[bytes]:
+        """Encrypt a list of blocks (tables re-read once per block)."""
+        return [self.encrypt_block(p) for p in plaintexts]

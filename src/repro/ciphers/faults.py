@@ -1,0 +1,73 @@
+"""Software fault injection for analysis-only experiments.
+
+The end-to-end attack induces faults through DRAM, but the fault-analysis
+experiments (T5 and the PFA unit tests) need precise, repeatable faults
+without a whole machine.  These helpers flip chosen bits of a table copy
+and describe the difference between tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A single-bit persistent fault in a substitution table.
+
+    ``index`` is the table entry, ``bit`` the bit to flip (0 = LSB).  This
+    matches what one Rowhammer flip in the table page does.
+    """
+
+    index: int
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.bit < 0 or self.bit > 7:
+            raise ConfigError(f"bit {self.bit} out of range [0, 7]")
+        if self.index < 0:
+            raise ConfigError(f"index must be non-negative, got {self.index}")
+
+    def apply_to_byte(self, value: int) -> int:
+        """The faulted value of a table byte."""
+        return value ^ (1 << self.bit)
+
+
+def apply_fault(table: bytes, spec: FaultSpec) -> bytes:
+    """A copy of ``table`` with the fault applied."""
+    if spec.index >= len(table):
+        raise ConfigError(f"index {spec.index} outside table of {len(table)} entries")
+    faulty = bytearray(table)
+    faulty[spec.index] = spec.apply_to_byte(faulty[spec.index])
+    return bytes(faulty)
+
+
+def diff_sboxes(clean: bytes, faulty: bytes) -> list[tuple[int, int, int]]:
+    """(index, clean value, faulty value) for every differing entry."""
+    if len(clean) != len(faulty):
+        raise ConfigError("tables must have equal length")
+    return [
+        (index, c, f)
+        for index, (c, f) in enumerate(zip(clean, faulty))
+        if c != f
+    ]
+
+
+def fault_summary(clean: bytes, faulty: bytes) -> dict[str, object]:
+    """Describe a fault the way PFA needs it.
+
+    For a single corrupted entry ``j``: the value ``v_star = clean[j]`` no
+    longer appears in the table's image (it becomes *missing* from
+    SubBytes outputs) and ``v_prime = faulty[j]`` now appears twice.
+    """
+    diffs = diff_sboxes(clean, faulty)
+    return {
+        "corrupted_entries": len(diffs),
+        "diffs": diffs,
+        "missing_values": sorted(set(clean) - set(faulty)),
+        "doubled_values": sorted(
+            v for v in set(faulty) if list(faulty).count(v) == 2
+        ),
+    }

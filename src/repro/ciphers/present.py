@@ -1,0 +1,140 @@
+"""PRESENT-80/128 (Bogdanov et al., CHES 2007).
+
+A second block cipher for the fault experiments: 64-bit blocks, 31 rounds,
+a single 4-bit S-box applied sixteen times per round, and a bit
+permutation.  Like the AES context, the S-box comes from a provider
+callable so a memory-resident table can be faulted persistently.
+
+The S-box here is stored nibble-per-byte (16 bytes) so a single DRAM bit
+flip corrupts exactly one S-box entry, mirroring the AES setup.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+PRESENT_SBOX = bytes(
+    [0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD, 0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2]
+)
+
+# pLayer: output bit P(i) takes input bit i.
+_PLAYER = tuple(
+    63 if i == 63 else (16 * i) % 63 for i in range(64)
+)
+
+NibbleProvider = Callable[[], bytes]
+
+
+def p_layer(state: int) -> int:
+    """The PRESENT bit permutation over a 64-bit state."""
+    out = 0
+    for i in range(64):
+        if (state >> i) & 1:
+            out |= 1 << _PLAYER[i]
+    return out
+
+
+_INV_PLAYER = [0] * 64
+for _i in range(64):
+    _INV_PLAYER[_PLAYER[_i]] = _i
+
+
+def inv_p_layer(state: int) -> int:
+    """Inverse of :func:`p_layer`."""
+    out = 0
+    for i in range(64):
+        if (state >> i) & 1:
+            out |= 1 << _INV_PLAYER[i]
+    return out
+
+
+def _permute(state: int) -> int:
+    return p_layer(state)
+
+
+class Present:
+    """One PRESENT context: round keys plus an S-box source."""
+
+    ROUNDS = 31
+
+    def __init__(self, key: bytes, sbox_provider: NibbleProvider | None = None):
+        if len(key) not in (10, 16):
+            raise ValueError(f"PRESENT key must be 10 (80-bit) or 16 (128-bit) bytes")
+        self.key = bytes(key)
+        self._sbox_provider = sbox_provider or (lambda: PRESENT_SBOX)
+        # Round keys are derived with the clean S-box (computed at startup,
+        # before any fault lands), matching the persistent-fault timeline.
+        if len(key) == 10:
+            self.round_keys = self._schedule_80(int.from_bytes(key, "big"))
+        else:
+            self.round_keys = self._schedule_128(int.from_bytes(key, "big"))
+
+    def _schedule_80(self, register: int) -> list[int]:
+        keys = []
+        for round_index in range(1, self.ROUNDS + 2):
+            keys.append(register >> 16)
+            register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+            top = PRESENT_SBOX[register >> 76]
+            register = (top << 76) | (register & ((1 << 76) - 1))
+            register ^= round_index << 15
+        return keys
+
+    def _schedule_128(self, register: int) -> list[int]:
+        keys = []
+        for round_index in range(1, self.ROUNDS + 2):
+            keys.append(register >> 64)
+            register = ((register << 61) | (register >> 67)) & ((1 << 128) - 1)
+            top2 = (
+                (PRESENT_SBOX[register >> 124] << 4)
+                | PRESENT_SBOX[(register >> 120) & 0xF]
+            )
+            register = (top2 << 120) | (register & ((1 << 120) - 1))
+            register ^= round_index << 62
+        return keys
+
+    def current_sbox(self) -> bytes:
+        """Fetch the (possibly faulty) 16-entry S-box."""
+        sbox = self._sbox_provider()
+        if len(sbox) != 16:
+            raise ValueError(f"PRESENT S-box must be 16 bytes, got {len(sbox)}")
+        return sbox
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Encrypt one 8-byte block."""
+        if len(plaintext) != 8:
+            raise ValueError(f"block must be 8 bytes, got {len(plaintext)}")
+        sbox = self.current_sbox()
+        state = int.from_bytes(plaintext, "big")
+        for round_index in range(self.ROUNDS):
+            state ^= self.round_keys[round_index]
+            substituted = 0
+            for nibble in range(16):
+                value = (state >> (4 * nibble)) & 0xF
+                substituted |= (sbox[value] & 0xF) << (4 * nibble)
+            state = _permute(substituted)
+        state ^= self.round_keys[self.ROUNDS]
+        return state.to_bytes(8, "big")
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Decrypt one block (clean S-box; for correctness tests)."""
+        if len(ciphertext) != 8:
+            raise ValueError(f"block must be 8 bytes, got {len(ciphertext)}")
+        inv_sbox = bytearray(16)
+        for index, value in enumerate(PRESENT_SBOX):
+            inv_sbox[value] = index
+        inv_player = [0] * 64
+        for i in range(64):
+            inv_player[_PLAYER[i]] = i
+        state = int.from_bytes(ciphertext, "big")
+        state ^= self.round_keys[self.ROUNDS]
+        for round_index in range(self.ROUNDS - 1, -1, -1):
+            unpermuted = 0
+            for i in range(64):
+                if (state >> i) & 1:
+                    unpermuted |= 1 << inv_player[i]
+            state = 0
+            for nibble in range(16):
+                value = (unpermuted >> (4 * nibble)) & 0xF
+                state |= inv_sbox[value] << (4 * nibble)
+            state ^= self.round_keys[round_index]
+        return state.to_bytes(8, "big")

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the library's main entry points:
+
+* ``attack``    — the full ExplFrame chain against an AES or PRESENT victim;
+* ``steer``     — page-frame-cache steering trials with the paper's knobs;
+* ``template``  — a Rowhammer templating survey of the simulated module;
+* ``pfa``       — the offline persistent-fault-analysis demo (no machine);
+* ``procfs``    — /proc-style views of a machine under a small workload.
+
+Every command takes ``--seed``; equal seeds give identical output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sim.units import MIB, PAGE_SIZE
+
+
+def _add_seed(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7, help="machine seed (default 7)")
+
+
+def _vulnerable_machine(seed: int, density: float):
+    from repro.core import Machine, MachineConfig
+    from repro.dram.flipmodel import FlipModelConfig
+    from repro.dram.geometry import DRAMGeometry
+
+    return Machine(
+        MachineConfig(
+            seed=seed,
+            geometry=DRAMGeometry.small(),
+            flip_model=FlipModelConfig(
+                weak_cells_per_row_mean=density,
+                threshold_mean=150_000,
+                threshold_sd=50_000,
+                threshold_min=40_000,
+            ),
+        )
+    )
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    """Run the full ExplFrame chain; exit code 0 iff the key was recovered."""
+    from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
+    from repro.attack.templating import TemplatorConfig
+
+    machine = _vulnerable_machine(args.seed, args.density)
+    config = ExplFrameConfig(
+        cipher=args.cipher,
+        templator=TemplatorConfig(
+            buffer_bytes=args.buffer_mib * MIB, batch_pairs=16
+        ),
+        max_campaigns=args.campaigns,
+    )
+    result = ExplFrameAttack(machine, config=config).run()
+    print(f"flips templated:      {result.templated_flips}")
+    print(f"steering succeeded:   {result.steering_success}")
+    print(f"table faulted:        {result.fault_in_table}")
+    print(f"faulty ciphertexts:   {result.faulty_ciphertexts}")
+    print(f"true key:             {result.true_key.hex()}")
+    recovered = result.recovered_key.hex() if result.recovered_key else "-"
+    print(f"recovered key:        {recovered}")
+    if result.log2_keyspace_after_pfa:
+        print(f"residual key bits:    {result.log2_keyspace_after_pfa:.0f}")
+    print(f"KEY RECOVERED:        {result.key_recovered}")
+    return 0 if result.key_recovered else 1
+
+
+def cmd_steer(args: argparse.Namespace) -> int:
+    """Measure steering success over trials with the requested knobs."""
+    from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
+    from repro.core import Machine, MachineConfig
+
+    machine = Machine(MachineConfig.small(seed=args.seed))
+    protocol = SteeringProtocol(machine)
+    config = SteeringTrialConfig(
+        victim_request_pages=args.victim_pages,
+        same_cpu=not args.cross_cpu,
+        noise_pages=args.noise,
+        attacker_sleeps=args.sleep,
+    )
+    rate = protocol.success_rate(args.trials, config)
+    print(
+        f"steering success: {rate:.0%} over {args.trials} trials "
+        f"(victim={args.victim_pages}p, "
+        f"{'cross' if args.cross_cpu else 'same'}-cpu, noise={args.noise}, "
+        f"sleep={args.sleep})"
+    )
+    return 0
+
+
+def cmd_template(args: argparse.Namespace) -> int:
+    """Run one templating campaign and print its yield and templates."""
+    from repro.attack.templating import Templator, TemplatorConfig
+
+    machine = _vulnerable_machine(args.seed, args.density)
+    attacker = machine.kernel.spawn("templator", cpu=0)
+    templator = Templator(
+        machine.kernel,
+        attacker.pid,
+        TemplatorConfig(buffer_bytes=args.buffer_mib * MIB, batch_pairs=16),
+    )
+    result = templator.run()
+    print(f"buffer:        {args.buffer_mib} MiB")
+    print(f"pairs:         {result.pairs_hammered}")
+    print(f"flips:         {result.flips_found} ({result.flips_per_gib:.0f}/GiB)")
+    print(f"sim time:      {result.elapsed_ns / 1e9:.2f} s")
+    for template in result.templates[: args.show]:
+        direction = "0->1" if template.flips_to_one else "1->0"
+        print(
+            f"  va={template.page_va:#x} offset={template.page_offset:#05x} "
+            f"bit={template.bit} {direction}"
+        )
+    return 0
+
+
+def cmd_pfa(args: argparse.Namespace) -> int:
+    """Run the offline PFA demo against a software-faulted cipher."""
+    if args.cipher == "aes":
+        import numpy as np
+
+        from repro.ciphers.aes_tables import AES_SBOX
+        from repro.ciphers.batch import aes128_encrypt_batch, random_plaintexts
+        from repro.ciphers.faults import FaultSpec, apply_fault
+        from repro.pfa.pfa import (
+            ciphertexts_to_unique_key,
+            invert_key_schedule_128,
+            recover_k10_known_fault,
+        )
+
+        key = bytes.fromhex(args.key) if args.key else bytes(range(16))
+        faulty = apply_fault(AES_SBOX, FaultSpec(index=args.fault_index, bit=args.bit))
+        rng = np.random.default_rng(args.seed)
+        consumed, state = ciphertexts_to_unique_key(
+            lambda n: aes128_encrypt_batch(random_plaintexts(n, rng), key, faulty),
+            AES_SBOX[args.fault_index],
+        )
+        k10 = bytes(c[0] for c in recover_k10_known_fault(state, AES_SBOX[args.fault_index]))
+        master = invert_key_schedule_128(k10)
+        print(f"ciphertexts consumed: {consumed}")
+        print(f"recovered master key: {master.hex()}")
+        print(f"correct:              {master == key}")
+        return 0 if master == key else 1
+
+    import random as pyrandom
+
+    from repro.ciphers.present import PRESENT_SBOX, Present
+    from repro.pfa.pfa_present import ciphertexts_to_unique_k32, recover_k32_known_fault
+
+    key = bytes.fromhex(args.key) if args.key else bytes(range(10))
+    table = bytearray(PRESENT_SBOX)
+    table[args.fault_index & 0xF] ^= 1 << (args.bit & 0x3)
+    cipher = Present(key, sbox_provider=lambda: bytes(table))
+    rng = pyrandom.Random(args.seed)
+    pts = [bytes(rng.randrange(256) for _ in range(8)) for _ in range(2000)]
+    consumed, state = ciphertexts_to_unique_k32(cipher.encrypt_block, lambda i: pts[i])
+    k32 = recover_k32_known_fault(state, PRESENT_SBOX[args.fault_index & 0xF])
+    truth = Present(key).round_keys[31]
+    print(f"ciphertexts consumed: {consumed}")
+    print(f"recovered K32:        {k32:016x}")
+    print(f"correct:              {k32 == truth}")
+    return 0 if k32 == truth else 1
+
+
+def cmd_procfs(args: argparse.Namespace) -> int:
+    """Render one /proc-style view of a machine under a small workload."""
+    from repro.core import Machine, MachineConfig
+    from repro.os import procfs
+
+    machine = Machine(MachineConfig.small(seed=args.seed))
+    kernel = machine.kernel
+    task = kernel.spawn("workload", cpu=0)
+    va = kernel.sys_mmap(task.pid, 64 * PAGE_SIZE, name="heap")
+    for index in range(64):
+        kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"w")
+    views = {
+        "buddyinfo": lambda: procfs.buddyinfo(machine.node),
+        "zoneinfo": lambda: procfs.zoneinfo(machine.node),
+        "meminfo": lambda: procfs.meminfo(machine.node),
+        "maps": lambda: procfs.maps(task),
+        "status": lambda: procfs.status_memory(task),
+        "pagetypeinfo": lambda: procfs.pagetypeinfo(machine.node),
+    }
+    print(views[args.view]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (one subcommand per entry point)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ExplFrame reproduction: attacks and diagnostics on a simulated machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    attack = sub.add_parser("attack", help="run the full ExplFrame attack")
+    _add_seed(attack)
+    attack.add_argument(
+        "--cipher", choices=["aes", "aes_ttable", "present"], default="aes"
+    )
+    attack.add_argument("--buffer-mib", type=int, default=8)
+    attack.add_argument("--density", type=float, default=3.0, help="weak cells per row")
+    attack.add_argument("--campaigns", type=int, default=4)
+    attack.set_defaults(func=cmd_attack)
+
+    steer = sub.add_parser("steer", help="steering success-rate trials")
+    _add_seed(steer)
+    steer.add_argument("--trials", type=int, default=10)
+    steer.add_argument("--victim-pages", type=int, default=1)
+    steer.add_argument("--cross-cpu", action="store_true")
+    steer.add_argument("--noise", type=int, default=0)
+    steer.add_argument("--sleep", action="store_true")
+    steer.set_defaults(func=cmd_steer)
+
+    template = sub.add_parser("template", help="Rowhammer templating survey")
+    _add_seed(template)
+    template.add_argument("--buffer-mib", type=int, default=4)
+    template.add_argument("--density", type=float, default=3.0)
+    template.add_argument("--show", type=int, default=5, help="templates to print")
+    template.set_defaults(func=cmd_template)
+
+    pfa = sub.add_parser("pfa", help="offline persistent fault analysis demo")
+    _add_seed(pfa)
+    pfa.add_argument("--cipher", choices=["aes", "present"], default="aes")
+    pfa.add_argument("--key", default=None, help="hex key (default: fixed demo key)")
+    pfa.add_argument("--fault-index", type=int, default=0x42)
+    pfa.add_argument("--bit", type=int, default=3)
+    pfa.set_defaults(func=cmd_pfa)
+
+    proc = sub.add_parser("procfs", help="render /proc-style machine views")
+    _add_seed(proc)
+    proc.add_argument(
+        "--view",
+        choices=["buddyinfo", "zoneinfo", "meminfo", "maps", "status", "pagetypeinfo"],
+        default="buddyinfo",
+    )
+    proc.set_defaults(func=cmd_procfs)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

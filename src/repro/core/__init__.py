@@ -1,0 +1,27 @@
+"""Public API: machine construction and the high-level attack driver.
+
+Typical use::
+
+    from repro.core import Machine, MachineConfig
+    from repro.attack import ExplFrameAttack
+
+    machine = Machine(MachineConfig.vulnerable(seed=7))
+    result = ExplFrameAttack(machine).run()
+    assert result.key_recovered
+"""
+
+from repro.core.config import MachineConfig
+from repro.core.machine import Machine
+from repro.core.results import (
+    EndToEndResult,
+    SteeringResult,
+    TemplatingResult,
+)
+
+__all__ = [
+    "EndToEndResult",
+    "Machine",
+    "MachineConfig",
+    "SteeringResult",
+    "TemplatingResult",
+]

@@ -1,0 +1,106 @@
+"""Machine assembly: wire every substrate together from one config."""
+
+from __future__ import annotations
+
+from repro.core.config import MachineConfig
+from repro.dram.cache import CpuCache
+from repro.dram.controller import MemoryController
+from repro.dram.mapping import make_mapping
+from repro.mm.allocator import ZonedPageFrameAllocator
+from repro.mm.node import NumaNode
+from repro.mm.page import FrameTable
+from repro.mm.reclaim import Kswapd
+from repro.os.kernel import Kernel
+from repro.os.scheduler import Scheduler
+from repro.sim.clock import SimClock
+from repro.sim.rng import RngStreams
+from repro.sim.units import PAGE_SIZE
+
+
+class Machine:
+    """A complete simulated computer: DRAM, allocators, kernel, CPUs.
+
+    Deterministic: two machines built from equal configs behave
+    identically, including the weak-cell map of their DRAM.
+    """
+
+    def __init__(self, config: MachineConfig | None = None):
+        self.config = config or MachineConfig()
+        self.rng = RngStreams(self.config.seed)
+        self.clock = SimClock()
+
+        geometry = self.config.geometry
+        self.mapping = make_mapping(self.config.mapping, geometry)
+        self.controller = MemoryController(
+            geometry=geometry,
+            mapping=self.mapping,
+            timing=self.config.timing,
+            flip_config=self.config.flip_model,
+            rng=self.rng,
+            clock=self.clock,
+            trr_config=self.config.trr,
+            ecc_config=self.config.ecc,
+        )
+        self.cache = CpuCache(self.config.cache)
+
+        total_pages = geometry.total_bytes // PAGE_SIZE
+        self.frames = FrameTable(total_pages)
+        num_nodes = self.config.num_nodes
+        node_pages = total_pages // num_nodes
+        if node_pages * PAGE_SIZE * num_nodes != geometry.total_bytes:
+            node_pages = total_pages // num_nodes  # truncate the remainder
+        self.nodes = [
+            NumaNode(
+                node_id=index,
+                frames=self.frames,
+                total_bytes=node_pages * PAGE_SIZE,
+                num_cpus=self.config.num_cpus,
+                layout=self.config.zone_layout,
+                pcp_config=self.config.pcp,
+                base_pfn=index * node_pages,
+            )
+            for index in range(num_nodes)
+        ]
+        self.node = self.nodes[0]
+        self.kswapd = Kswapd()
+        cpus_per_node = self.config.num_cpus // num_nodes
+        cpu_to_node = [cpu // cpus_per_node for cpu in range(self.config.num_cpus)]
+        self.allocator = ZonedPageFrameAllocator(
+            self.nodes, self.kswapd, cpu_to_node=cpu_to_node if num_nodes > 1 else None
+        )
+        self.scheduler = Scheduler(self.config.num_cpus)
+        self.kernel = Kernel(
+            allocator=self.allocator,
+            controller=self.controller,
+            cache=self.cache,
+            clock=self.clock,
+            scheduler=self.scheduler,
+            kswapd=self.kswapd,
+        )
+
+    @property
+    def num_cpus(self) -> int:
+        """Number of simulated CPUs."""
+        return self.config.num_cpus
+
+    def stats(self) -> dict[str, dict]:
+        """One snapshot of every subsystem's counters."""
+        return {
+            "dram": self.controller.stats(),
+            "trr": self.controller.trr_stats(),
+            "ecc": self.controller.ecc_stats(),
+            "allocator": self.allocator.stats(),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "flushes": self.cache.flushes,
+            },
+            "kernel": vars(self.kernel.stats).copy(),
+            "clock_ns": {"now": self.clock.now_ns},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine(seed={self.config.seed}, cpus={self.num_cpus}, "
+            f"dram={self.config.geometry})"
+        )

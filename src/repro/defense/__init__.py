@@ -1,0 +1,22 @@
+"""Software-side Rowhammer detection.
+
+The hardware mitigations (TRR, ECC, refresh scaling) live in
+:mod:`repro.dram`; this package holds the *software* counterpart: an
+ANVIL-style watchdog that samples per-task DRAM activation rates and
+flags tasks whose single-refresh-window activation counts are only
+explainable by deliberate cache-bypassing hammering.
+"""
+
+from repro.defense.watchdog import (
+    ActivationLedger,
+    HammerAlert,
+    HammerWatchdog,
+    WatchdogConfig,
+)
+
+__all__ = [
+    "ActivationLedger",
+    "HammerAlert",
+    "HammerWatchdog",
+    "WatchdogConfig",
+]

@@ -1,0 +1,55 @@
+"""Simulated DRAM substrate.
+
+This package stands in for the physical DDR3/DDR4 module of the paper's
+testbed.  It models the parts of DRAM that the ExplFrame attack actually
+depends on:
+
+* the **geometry** (channel / rank / bank / row / column) and the physical
+  address mapping into it, so "adjacent row in the same bank" is a
+  well-defined, computable notion;
+* the **bank row-buffer state machine**, so only genuine row activations
+  (row-buffer misses) count toward disturbance — hammering two rows in
+  *different* banks produces row hits and no flips, exactly as on hardware;
+* the **refresh window**, so activations only matter if they accumulate
+  inside one tREFW interval;
+* a per-cell **disturbance (Rowhammer) model** following Kim et al.
+  (ISCA 2014): a sparse population of weak cells per row, each with its own
+  activation threshold, true-/anti-cell orientation and data-pattern
+  dependence.  The population is derived deterministically from the machine
+  seed, which gives the *repeatability* property the paper's Section VI
+  relies on ("high probability of getting bit flips in the same location").
+"""
+
+from repro.dram.bank import Bank
+from repro.dram.cache import CpuCache, CpuCacheConfig
+from repro.dram.controller import FlipEvent, MemoryController
+from repro.dram.ecc import EccConfig, EccState
+from repro.dram.flipmodel import FlipModelConfig, WeakCell, WeakCellMap
+from repro.dram.geometry import DRAMAddress, DRAMGeometry
+from repro.dram.mapping import AddressMapping, LinearMapping, XorBankMapping, make_mapping
+from repro.dram.memory import PhysicalMemory
+from repro.dram.timing import DRAMTiming
+from repro.dram.trr import TrrConfig, TrrState
+
+__all__ = [
+    "AddressMapping",
+    "Bank",
+    "CpuCache",
+    "CpuCacheConfig",
+    "DRAMAddress",
+    "DRAMGeometry",
+    "DRAMTiming",
+    "EccConfig",
+    "EccState",
+    "FlipEvent",
+    "FlipModelConfig",
+    "LinearMapping",
+    "MemoryController",
+    "PhysicalMemory",
+    "TrrConfig",
+    "TrrState",
+    "WeakCell",
+    "WeakCellMap",
+    "XorBankMapping",
+    "make_mapping",
+]

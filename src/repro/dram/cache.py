@@ -1,0 +1,116 @@
+"""A small physically-indexed CPU cache model.
+
+The original Rowhammer paper's key enabling trick is ``clflush``: without
+flushing, the second and later accesses to an aggressor address are served
+by the CPU cache and never reach DRAM, so no activations accumulate.  To
+make that part of the attack meaningful in simulation, memory accesses run
+through this set-associative, LRU, write-through cache:
+
+* a **hit** is served from the cache and produces no DRAM access;
+* a **miss** fills the line (evicting the LRU way) and *does* reach DRAM;
+* ``clflush(addr)`` evicts the line so the next access misses again.
+
+Only tags are stored — data stays authoritative in
+:class:`repro.dram.memory.PhysicalMemory` (write-through, no dirty state),
+which is all the attack semantics require.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.sim.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CpuCacheConfig:
+    """Shape of the cache: 64 B lines, 512 sets x 8 ways = 256 KiB default."""
+
+    line_size: int = 64
+    sets: int = 512
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("line_size", "sets"):
+            value = getattr(self, name)
+            if value <= 0 or value & (value - 1):
+                raise ConfigError(f"{name} must be a positive power of two, got {value}")
+        if self.ways <= 0:
+            raise ConfigError(f"ways must be positive, got {self.ways}")
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total cache capacity."""
+        return self.line_size * self.sets * self.ways
+
+
+class CpuCache:
+    """Set-associative LRU cache over physical line addresses."""
+
+    def __init__(self, config: CpuCacheConfig | None = None):
+        self.config = config or CpuCacheConfig()
+        # One OrderedDict per set: line_tag -> None, LRU at the front.
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.config.sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def _locate(self, phys: int) -> tuple[int, int]:
+        """Return (set index, line tag) for a physical address."""
+        if phys < 0:
+            raise ConfigError(f"physical address must be non-negative, got {phys:#x}")
+        line = phys // self.config.line_size
+        return line % self.config.sets, line
+
+    def access(self, phys: int) -> bool:
+        """Access one byte; returns True on hit (no DRAM traffic needed)."""
+        set_index, tag = self._locate(phys)
+        ways = self._sets[set_index]
+        if tag in ways:
+            ways.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[tag] = None
+        if len(ways) > self.config.ways:
+            ways.popitem(last=False)
+        return False
+
+    def flush(self, phys: int) -> bool:
+        """``clflush``: evict the line containing ``phys``; True if present."""
+        set_index, tag = self._locate(phys)
+        ways = self._sets[set_index]
+        if tag in ways:
+            del ways[tag]
+            self.flushes += 1
+            return True
+        return False
+
+    def contains(self, phys: int) -> bool:
+        """True if the line containing ``phys`` is currently cached."""
+        set_index, tag = self._locate(phys)
+        return tag in self._sets[set_index]
+
+    def flush_all(self) -> None:
+        """Invalidate the whole cache (``wbinvd``)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(ways) for ways in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit rate (0.0 when no accesses have happened)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CpuCache({self.config.sets}x{self.config.ways} ways, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

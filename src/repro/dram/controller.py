@@ -1,0 +1,367 @@
+"""Memory controller: routes accesses, counts activations, applies flips.
+
+The controller is the single entry point for DRAM traffic.  It
+
+* resolves physical addresses through the configured
+  :class:`~repro.dram.mapping.AddressMapping`;
+* drives the per-bank row-buffer state machines (so row hits cost
+  ``t_cas_ns`` and cause no disturbance, while row conflicts cost
+  ``t_rc_ns`` and count as activations);
+* rolls the refresh window: whenever simulated time crosses a ``t_refw_ns``
+  boundary, every bank's activation counters reset — disturbance cannot
+  accumulate across windows;
+* evaluates the weak-cell model after activations and applies resulting bit
+  flips directly to :class:`~repro.dram.memory.PhysicalMemory`, logging a
+  :class:`FlipEvent` for each.
+
+Besides the single-access path there is a **hammer fast path**
+(:meth:`MemoryController.hammer`) that applies ``rounds`` iterations of an
+alternating flush+access loop in O(banks) instead of O(rounds) Python work.
+It preserves the two properties that make hammering subtle: aggressor pairs
+must share a bank to force activations, and activation counts are clipped
+to what fits in each refresh window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.bank import Bank
+from repro.dram.ecc import EccConfig, EccState
+from repro.dram.flipmodel import FlipModelConfig, WeakCellMap
+from repro.dram.trr import TrrConfig, TrrState
+from repro.dram.geometry import DRAMAddress, DRAMGeometry
+from repro.dram.mapping import AddressMapping
+from repro.dram.memory import PhysicalMemory
+from repro.dram.timing import DRAMTiming
+from repro.sim.clock import SimClock
+from repro.sim.errors import ConfigError
+from repro.sim.rng import RngStreams
+from repro.sim.units import PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class FlipEvent:
+    """One disturbance-induced bit flip, as observed at the controller."""
+
+    time_ns: int
+    phys_addr: int
+    bit_in_byte: int
+    direction_1_to_0: bool
+    bank_key: tuple[int, int, int]
+    row: int
+
+    @property
+    def pfn(self) -> int:
+        """Page frame number containing the flipped bit."""
+        return self.phys_addr >> PAGE_SHIFT
+
+    @property
+    def page_offset(self) -> int:
+        """Byte offset of the flipped bit inside its 4 KiB page."""
+        return self.phys_addr & ((1 << PAGE_SHIFT) - 1)
+
+    def __str__(self) -> str:
+        arrow = "1->0" if self.direction_1_to_0 else "0->1"
+        return (
+            f"FlipEvent(pa={self.phys_addr:#x} bit={self.bit_in_byte} {arrow} "
+            f"bank={self.bank_key} row={self.row:#x} t={self.time_ns}ns)"
+        )
+
+
+@dataclass
+class HammerResult:
+    """Outcome of one hammer call."""
+
+    rounds: int
+    accesses: int
+    activations: int
+    elapsed_ns: int
+    flips: list[FlipEvent] = field(default_factory=list)
+
+    @property
+    def ns_per_round(self) -> float:
+        """Average simulated time per hammer round."""
+        return self.elapsed_ns / self.rounds if self.rounds else 0.0
+
+
+class MemoryController:
+    """Single point of DRAM access for the whole simulated machine."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        mapping: AddressMapping,
+        timing: DRAMTiming,
+        flip_config: FlipModelConfig,
+        rng: RngStreams,
+        clock: SimClock,
+        trr_config: TrrConfig | None = None,
+        ecc_config: EccConfig | None = None,
+    ):
+        if mapping.geometry is not geometry:
+            raise ConfigError("mapping was built for a different geometry")
+        self.geometry = geometry
+        self.mapping = mapping
+        self.timing = timing
+        self.trr_config = trr_config or TrrConfig.disabled()
+        self.ecc_config = ecc_config or EccConfig.disabled()
+        self.clock = clock
+        self.memory = PhysicalMemory(geometry.total_bytes)
+        self.ecc: EccState | None = None
+        if self.ecc_config.enabled:
+            self.ecc = EccState(self.ecc_config)
+            self.memory.write_hook = self.ecc.clear_range
+        self.weak_cells = WeakCellMap(geometry, flip_config, rng)
+        self._banks: dict[tuple[int, int, int], Bank] = {}
+        self._refresh_epoch = 0
+        self.flip_log: list[FlipEvent] = []
+        self.refresh_count = 0
+        # Victim rows checked per flip evaluation: +-1 always, +-2 when the
+        # distance-2 coupling is non-zero.
+        self._max_coupling_distance = 2 if flip_config.coupling_distance2 > 0 else 1
+
+    # -- bank/refresh plumbing ---------------------------------------------
+
+    def bank(self, key: tuple[int, int, int]) -> Bank:
+        """The (lazily created) bank state for a (channel, rank, bank) key."""
+        state = self._banks.get(key)
+        if state is None:
+            self.geometry.validate_bank(*key)
+            trr = TrrState(self.trr_config) if self.trr_config.enabled else None
+            state = Bank(self.geometry.rows_per_bank, trr=trr)
+            self._banks[key] = state
+        return state
+
+    def ecc_stats(self) -> dict[str, int]:
+        """ECC correction counters (zeros when ECC is disabled)."""
+        if self.ecc is None:
+            return {"corrected_bits": 0, "uncorrectable_events": 0, "pending_words": 0}
+        return {
+            "corrected_bits": self.ecc.corrected_bits,
+            "uncorrectable_events": self.ecc.uncorrectable_events,
+            "pending_words": self.ecc.pending_words(),
+        }
+
+    def trr_stats(self) -> dict[str, int]:
+        """Aggregate TRR sampler activity across banks (zeros if disabled)."""
+        refreshes = 0
+        misses = 0
+        for bank in self._banks.values():
+            if bank.trr is not None:
+                refreshes += bank.trr.neighbor_refreshes
+                misses += bank.trr.tracker_misses
+        return {"neighbor_refreshes": refreshes, "tracker_misses": misses}
+
+    def _maybe_refresh(self) -> None:
+        epoch = self.clock.now_ns // self.timing.t_refw_ns
+        if epoch != self._refresh_epoch:
+            for bank in self._banks.values():
+                bank.refresh()
+            self._refresh_epoch = epoch
+            self.refresh_count += 1
+
+    def current_refresh_epoch(self) -> int:
+        """Index of the refresh window containing the current time."""
+        return self.clock.now_ns // self.timing.t_refw_ns
+
+    # -- disturbance evaluation ------------------------------------------------
+
+    def _coupling(self, distance: int) -> float:
+        if distance == 1:
+            return self.weak_cells.config.coupling_adjacent
+        if distance == 2:
+            return self.weak_cells.config.coupling_distance2
+        return 0.0
+
+    def _disturbance_on(self, bank: Bank, victim_row: int) -> float:
+        """Effective aggressor activations felt by ``victim_row`` this window."""
+        total = 0.0
+        for distance in range(1, self._max_coupling_distance + 1):
+            factor = self._coupling(distance)
+            if factor <= 0.0:
+                continue
+            for row in (victim_row - distance, victim_row + distance):
+                if 0 <= row < self.geometry.rows_per_bank:
+                    total += factor * bank.activations_in_window(row)
+        return total
+
+    def _evaluate_victim_row(self, key: tuple[int, int, int], victim_row: int) -> list[FlipEvent]:
+        """Flip every armed weak cell in ``victim_row`` whose threshold is met."""
+        bank = self.bank(key)
+        flat = self.geometry.flat_bank_index(*key)
+        cells = self.weak_cells.cells_in_row(flat, victim_row)
+        if not cells:
+            return []
+        disturbance = self._disturbance_on(bank, victim_row)
+        if disturbance <= 0.0:
+            return []
+        channel, rank, bank_index = key
+        flips: list[FlipEvent] = []
+        for cell in cells:
+            if cell.threshold > disturbance:
+                continue
+            addr = self.mapping.to_phys(
+                DRAMAddress(
+                    channel=channel,
+                    rank=rank,
+                    bank=bank_index,
+                    row=victim_row,
+                    col=cell.byte_offset,
+                )
+            )
+            # Data-pattern dependence: the cell only flips while it holds its
+            # charged value; once flipped it stays flipped until rewritten.
+            if self.memory.get_bit(addr, cell.bit_in_byte) != cell.charged_value:
+                continue
+            if self.ecc is None:
+                to_apply = [(addr, cell.bit_in_byte)]
+            else:
+                # SECDED: a lone flipped bit per word is corrected away;
+                # only a second bit in the same word makes the corruption
+                # visible (and then the whole word's pending bits land).
+                to_apply = self.ecc.register_flip(addr, cell.bit_in_byte)
+            for flip_addr, flip_bit in to_apply:
+                old = self.memory.get_bit(flip_addr, flip_bit)
+                self.memory.apply_disturbance_flip(flip_addr, flip_bit, old ^ 1)
+                event = FlipEvent(
+                    time_ns=self.clock.now_ns,
+                    phys_addr=flip_addr,
+                    bit_in_byte=flip_bit,
+                    direction_1_to_0=bool(old),
+                    bank_key=key,
+                    row=victim_row,
+                )
+                self.flip_log.append(event)
+                flips.append(event)
+        return flips
+
+    def _evaluate_around(self, key: tuple[int, int, int], aggressor_rows: set[int]) -> list[FlipEvent]:
+        """Evaluate every victim row within coupling distance of the aggressors."""
+        victims: set[int] = set()
+        for row in aggressor_rows:
+            for distance in range(1, self._max_coupling_distance + 1):
+                for victim in (row - distance, row + distance):
+                    if 0 <= victim < self.geometry.rows_per_bank:
+                        victims.add(victim)
+        flips: list[FlipEvent] = []
+        for victim in sorted(victims):
+            flips.extend(self._evaluate_victim_row(key, victim))
+        return flips
+
+    # -- access paths ------------------------------------------------------------
+
+    def access(self, phys: int, write: bool = False) -> bool:
+        """One uncached DRAM access; returns True if it activated a row.
+
+        ``write`` is accepted for interface symmetry — reads and writes have
+        the same activation behaviour in this model.
+        """
+        del write
+        self._maybe_refresh()
+        addr = self.mapping.to_dram(phys)
+        key = addr.bank_key()
+        bank = self.bank(key)
+        activated = bank.access(addr.row)
+        if activated:
+            self.clock.advance(self.timing.t_rc_ns)
+            self._evaluate_around(key, {addr.row})
+        else:
+            self.clock.advance(self.timing.t_cas_ns)
+        return activated
+
+    def hammer(self, phys_addrs: list[int], rounds: int) -> HammerResult:
+        """Apply ``rounds`` iterations of a flush+access loop over the addresses.
+
+        Semantics match a loop of ``access()`` calls with every address
+        flushed from cache between rounds.  Addresses that are alone in
+        their bank stay in the row buffer, so only banks holding **two or
+        more distinct rows** accumulate activations — the caller learns this
+        through the ``activations`` count of the result.
+
+        Activation counting is clipped per refresh window: if the loop's
+        simulated duration spans a window boundary, the counters reset at
+        the boundary exactly as real refresh would, and flips are evaluated
+        once per window chunk.
+        """
+        if rounds <= 0:
+            raise ConfigError(f"rounds must be positive, got {rounds}")
+        if not phys_addrs:
+            raise ConfigError("hammer needs at least one address")
+        self._maybe_refresh()
+
+        dram_addrs = [self.mapping.to_dram(p) for p in phys_addrs]
+        by_bank: dict[tuple[int, int, int], list[int]] = {}
+        for addr in dram_addrs:
+            by_bank.setdefault(addr.bank_key(), []).append(addr.row)
+
+        # Per-round cost and per-round activation counts per bank.
+        activations_per_round: dict[tuple[int, int, int], dict[int, int]] = {}
+        ns_per_round = 0
+        static_activations = 0
+        for key, rows in by_bank.items():
+            distinct = set(rows)
+            if len(distinct) >= 2:
+                per_row: dict[int, int] = {}
+                for row in rows:
+                    per_row[row] = per_row.get(row, 0) + 1
+                activations_per_round[key] = per_row
+                ns_per_round += len(rows) * self.timing.t_rc_ns
+            else:
+                # A single row per bank opens once and then row-hits forever.
+                only_row = rows[0]
+                bank = self.bank(key)
+                if bank.access(only_row):
+                    static_activations += 1
+                ns_per_round += len(rows) * self.timing.t_cas_ns
+
+        total_flips: list[FlipEvent] = []
+        total_activations = static_activations
+        rounds_left = rounds
+        elapsed = 0
+        while rounds_left > 0:
+            window_end = (self.current_refresh_epoch() + 1) * self.timing.t_refw_ns
+            remaining_ns = window_end - self.clock.now_ns
+            if ns_per_round > 0:
+                chunk = min(rounds_left, max(1, remaining_ns // ns_per_round))
+            else:
+                chunk = rounds_left
+            for key, per_row in activations_per_round.items():
+                bank = self.bank(key)
+                for row, count in per_row.items():
+                    bank.bulk_activate(row, count * chunk)
+                    total_activations += count * chunk
+            self.clock.advance(chunk * ns_per_round)
+            elapsed += chunk * ns_per_round
+            for key, per_row in activations_per_round.items():
+                total_flips.extend(self._evaluate_around(key, set(per_row)))
+            rounds_left -= chunk
+            self._maybe_refresh()
+
+        return HammerResult(
+            rounds=rounds,
+            accesses=rounds * len(phys_addrs),
+            activations=total_activations,
+            elapsed_ns=elapsed,
+            flips=total_flips,
+        )
+
+    # -- statistics --------------------------------------------------------------
+
+    def total_activations(self) -> int:
+        """Lifetime activations across all banks."""
+        return sum(bank.total_activations for bank in self._banks.values())
+
+    def flips_in_pfn(self, pfn: int) -> list[FlipEvent]:
+        """All logged flips that landed in page frame ``pfn``."""
+        return [event for event in self.flip_log if event.pfn == pfn]
+
+    def stats(self) -> dict[str, int]:
+        """Counters for reporting: activations, row hits, flips, refreshes."""
+        return {
+            "activations": self.total_activations(),
+            "row_hits": sum(bank.total_row_hits for bank in self._banks.values()),
+            "flips": len(self.flip_log),
+            "refreshes": self.refresh_count,
+            "banks_touched": len(self._banks),
+        }

@@ -1,0 +1,180 @@
+"""Physical memory byte store with lazy frame materialisation.
+
+Frames are materialised (as 4 KiB bytearrays) only when first written or
+when a disturbance flip lands in them; untouched frames read as zeros.
+This keeps multi-GiB simulated modules cheap while preserving exact byte
+semantics for the frames the experiments actually touch.
+"""
+
+from __future__ import annotations
+
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory of ``total_bytes`` capacity."""
+
+    def __init__(self, total_bytes: int):
+        if total_bytes <= 0 or total_bytes % PAGE_SIZE:
+            raise ConfigError(
+                f"total_bytes must be a positive multiple of {PAGE_SIZE}, got {total_bytes}"
+            )
+        self.total_bytes = total_bytes
+        self.total_frames = total_bytes >> PAGE_SHIFT
+        self._frames: dict[int, bytearray] = {}
+        # Optional observer of ordinary stores: called as hook(addr, length)
+        # after every write-path mutation.  The ECC model uses it to learn
+        # that a word was rewritten (disturbance flips applied by the
+        # controller go through apply_disturbance_flip, which does NOT
+        # notify).
+        self.write_hook = None
+
+    def _notify(self, addr: int, length: int) -> None:
+        if self.write_hook is not None and length > 0:
+            self.write_hook(addr, length)
+
+    # -- bounds helpers ------------------------------------------------------
+
+    def _check_range(self, addr: int, length: int) -> None:
+        if length < 0:
+            raise ConfigError(f"length must be non-negative, got {length}")
+        if addr < 0 or addr + length > self.total_bytes:
+            raise ConfigError(
+                f"physical range [{addr:#x}, {addr + length:#x}) outside module "
+                f"[0, {self.total_bytes:#x})"
+            )
+
+    def materialized_frames(self) -> int:
+        """Number of frames currently backed by real storage."""
+        return len(self._frames)
+
+    def is_materialized(self, pfn: int) -> bool:
+        """True if frame ``pfn`` has backing storage (has been written)."""
+        return pfn in self._frames
+
+    def _frame_for_write(self, pfn: int) -> bytearray:
+        frame = self._frames.get(pfn)
+        if frame is None:
+            frame = bytearray(PAGE_SIZE)
+            self._frames[pfn] = frame
+        return frame
+
+    # -- byte access -----------------------------------------------------------
+
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at physical address ``addr``."""
+        self._check_range(addr, length)
+        out = bytearray()
+        remaining = length
+        cursor = addr
+        while remaining > 0:
+            pfn = cursor >> PAGE_SHIFT
+            offset = cursor & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - offset)
+            frame = self._frames.get(pfn)
+            if frame is None:
+                out += _ZERO_PAGE[offset : offset + chunk]
+            else:
+                out += frame[offset : offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write ``data`` starting at physical address ``addr``."""
+        self._check_range(addr, len(data))
+        self._notify(addr, len(data))
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            pfn = cursor >> PAGE_SHIFT
+            offset = cursor & (PAGE_SIZE - 1)
+            chunk = min(len(view), PAGE_SIZE - offset)
+            frame = self._frame_for_write(pfn)
+            frame[offset : offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    def read_byte(self, addr: int) -> int:
+        """Read a single byte."""
+        self._check_range(addr, 1)
+        frame = self._frames.get(addr >> PAGE_SHIFT)
+        if frame is None:
+            return 0
+        return frame[addr & (PAGE_SIZE - 1)]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        """Write a single byte (value 0..255)."""
+        if not 0 <= value <= 0xFF:
+            raise ConfigError(f"byte value {value} out of range [0, 255]")
+        self._check_range(addr, 1)
+        self._notify(addr, 1)
+        frame = self._frame_for_write(addr >> PAGE_SHIFT)
+        frame[addr & (PAGE_SIZE - 1)] = value
+
+    # -- bit-level access (used by the flip machinery) ----------------------
+
+    def get_bit(self, addr: int, bit: int) -> int:
+        """Read bit ``bit`` (0 = LSB) of the byte at ``addr``."""
+        if not 0 <= bit <= 7:
+            raise ConfigError(f"bit index {bit} out of range [0, 7]")
+        return (self.read_byte(addr) >> bit) & 1
+
+    def set_bit(self, addr: int, bit: int, value: int) -> None:
+        """Set bit ``bit`` of the byte at ``addr`` to ``value`` (0 or 1)."""
+        if value not in (0, 1):
+            raise ConfigError(f"bit value must be 0 or 1, got {value}")
+        byte = self.read_byte(addr)
+        if value:
+            byte |= 1 << bit
+        else:
+            byte &= ~(1 << bit)
+        self.write_byte(addr, byte)
+
+    def flip_bit(self, addr: int, bit: int) -> int:
+        """XOR bit ``bit`` of the byte at ``addr``; returns the new bit value."""
+        byte = self.read_byte(addr) ^ (1 << bit)
+        self.write_byte(addr, byte)
+        return (byte >> bit) & 1
+
+    def apply_disturbance_flip(self, addr: int, bit: int, value: int) -> None:
+        """Set a bit *without* notifying the write hook.
+
+        Used exclusively by the memory controller when a Rowhammer flip
+        materialises: the data silently changes underneath the ECC state,
+        unlike an ordinary store.
+        """
+        if value not in (0, 1):
+            raise ConfigError(f"bit value must be 0 or 1, got {value}")
+        self._check_range(addr, 1)
+        frame = self._frame_for_write(addr >> PAGE_SHIFT)
+        offset = addr & (PAGE_SIZE - 1)
+        if value:
+            frame[offset] |= 1 << bit
+        else:
+            frame[offset] &= ~(1 << bit)
+
+    # -- frame helpers ----------------------------------------------------------
+
+    def fill_frame(self, pfn: int, pattern: int) -> None:
+        """Fill frame ``pfn`` with a repeated byte ``pattern``."""
+        if not 0 <= pattern <= 0xFF:
+            raise ConfigError(f"pattern byte {pattern} out of range")
+        self._check_range(pfn << PAGE_SHIFT, PAGE_SIZE)
+        self._notify(pfn << PAGE_SHIFT, PAGE_SIZE)
+        self._frames[pfn] = bytearray([pattern]) * PAGE_SIZE
+
+    def clear_frame(self, pfn: int) -> None:
+        """Reset frame ``pfn`` to zeros and drop its backing storage."""
+        self._check_range(pfn << PAGE_SHIFT, PAGE_SIZE)
+        self._notify(pfn << PAGE_SHIFT, PAGE_SIZE)
+        self._frames.pop(pfn, None)
+
+    def frame_snapshot(self, pfn: int) -> bytes:
+        """Immutable copy of the 4 KiB frame ``pfn``."""
+        self._check_range(pfn << PAGE_SHIFT, PAGE_SIZE)
+        frame = self._frames.get(pfn)
+        return bytes(frame) if frame is not None else _ZERO_PAGE

@@ -1,0 +1,44 @@
+"""Physical memory management: the Linux allocator stack, reproduced.
+
+Sections III-V of the paper describe exactly the pieces modelled here:
+
+* :mod:`repro.mm.page` — page-frame descriptors and state flags;
+* :mod:`repro.mm.buddy` — the zone-internal buddy allocator with
+  power-of-two free lists, block splitting and buddy coalescing (paper
+  Fig. 1);
+* :mod:`repro.mm.zone` — ZONE_DMA / ZONE_DMA32 / ZONE_NORMAL with min /
+  low / high watermarks;
+* :mod:`repro.mm.pcp` — the **per-CPU page frame cache** at the heart of
+  the attack: a small software cache of recently released order-0 frames,
+  refilled from and spilled to the buddy allocator in batches, serving
+  small requests in LIFO order;
+* :mod:`repro.mm.node` — NUMA node and zonelist fallback order;
+* :mod:`repro.mm.allocator` — the zoned page frame allocator facade
+  (paper Fig. 2) that walks the zonelist, applies watermarks, routes
+  order-0 requests through the pcp cache and wakes kswapd;
+* :mod:`repro.mm.reclaim` — a kswapd-style reclaimer for the
+  page-cache-like reclaimable pool.
+"""
+
+from repro.mm.allocator import AllocationRequest, ZonedPageFrameAllocator
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.node import NumaNode
+from repro.mm.page import PageFlags, PageFrame
+from repro.mm.pcp import PcpConfig, PerCpuPageCache
+from repro.mm.reclaim import Kswapd
+from repro.mm.zone import Zone, ZoneType, ZoneWatermarks
+
+__all__ = [
+    "AllocationRequest",
+    "BuddyAllocator",
+    "Kswapd",
+    "NumaNode",
+    "PageFlags",
+    "PageFrame",
+    "PcpConfig",
+    "PerCpuPageCache",
+    "Zone",
+    "ZoneType",
+    "ZoneWatermarks",
+    "ZonedPageFrameAllocator",
+]

@@ -1,0 +1,89 @@
+"""Page frame descriptors.
+
+Mirrors (a small slice of) the kernel's ``struct page``: every physical
+frame has a descriptor tracking where it currently lives in the allocator
+state machine.  The legal states and transitions are:
+
+    FREE_BUDDY  --alloc-->  ALLOCATED  --free(order 0)-->  ON_PCP
+        ^                       |                             |
+        |                       +--free(order > 0)------------+--spill/
+        +------------------------------------------------------   drain
+
+``RESERVED`` frames (e.g. a hole at the start of ZONE_DMA) never enter the
+allocator.  The descriptor also remembers the owning pid while allocated —
+the experiments use that to ask "who holds this frame now?", which is the
+measurable core of the steering attack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sim.errors import ConfigError
+
+
+class PageFlags(enum.Enum):
+    """Allocator state of one page frame."""
+
+    RESERVED = "reserved"
+    FREE_BUDDY = "free_buddy"
+    ON_PCP = "on_pcp"
+    ALLOCATED = "allocated"
+
+
+@dataclass
+class PageFrame:
+    """Descriptor for one physical page frame."""
+
+    pfn: int
+    flags: PageFlags = PageFlags.FREE_BUDDY
+    # Buddy order of the free block this frame heads; only meaningful for
+    # the head frame of a FREE_BUDDY block.
+    order: int = 0
+    owner_pid: int | None = None
+    # Monotonic stamp of the last allocation, for reuse-distance statistics.
+    alloc_stamp: int = 0
+    field_history: list[PageFlags] = field(default_factory=list, repr=False)
+
+    def mark(self, flags: PageFlags) -> None:
+        """Transition to ``flags``, recording the old state in the history."""
+        self.field_history.append(self.flags)
+        if len(self.field_history) > 16:
+            del self.field_history[0]
+        self.flags = flags
+
+    @property
+    def is_free(self) -> bool:
+        """True when the frame is available (in the buddy or on a pcp list)."""
+        return self.flags in (PageFlags.FREE_BUDDY, PageFlags.ON_PCP)
+
+
+class FrameTable:
+    """Dense table of :class:`PageFrame` descriptors for a frame range."""
+
+    def __init__(self, total_frames: int):
+        if total_frames <= 0:
+            raise ConfigError(f"total_frames must be positive, got {total_frames}")
+        self.total_frames = total_frames
+        self._frames = [PageFrame(pfn=pfn) for pfn in range(total_frames)]
+
+    def __getitem__(self, pfn: int) -> PageFrame:
+        if not 0 <= pfn < self.total_frames:
+            raise ConfigError(f"pfn {pfn} out of range [0, {self.total_frames})")
+        return self._frames[pfn]
+
+    def __len__(self) -> int:
+        return self.total_frames
+
+    def owned_by(self, pid: int) -> list[int]:
+        """All pfns currently allocated to ``pid``."""
+        return [
+            frame.pfn
+            for frame in self._frames
+            if frame.flags is PageFlags.ALLOCATED and frame.owner_pid == pid
+        ]
+
+    def count_state(self, flags: PageFlags) -> int:
+        """Number of frames currently in the given state."""
+        return sum(1 for frame in self._frames if frame.flags is flags)

@@ -1,0 +1,22 @@
+"""Kernel facade: tasks, CPUs, syscalls, and the memory access path.
+
+This package glues the substrates together the way Linux does: tasks with
+CPU affinity run on a scheduler; their mmap/munmap syscalls drive the
+zoned page frame allocator (and thus the per-CPU page frame cache); their
+loads and stores run through the CPU cache into the DRAM controller, where
+Rowhammer disturbance accumulates.
+"""
+
+from repro.os.capabilities import Capability, CapabilitySet
+from repro.os.kernel import Kernel
+from repro.os.scheduler import Scheduler
+from repro.os.task import Task, TaskState
+
+__all__ = [
+    "Capability",
+    "CapabilitySet",
+    "Kernel",
+    "Scheduler",
+    "Task",
+    "TaskState",
+]

@@ -1,0 +1,475 @@
+"""The kernel facade: syscalls, demand paging, and the memory access path.
+
+This class plays the role Linux plays in the paper: it owns the zoned page
+frame allocator (and with it each CPU's page frame cache), handles mmap /
+munmap / page faults, and routes every load and store through the CPU
+cache into the DRAM controller.  The attack code talks *only* to this
+facade, through the same interface contour real attack code has: mmap,
+munmap, memory reads/writes, clflush, sched_setaffinity, and pagemap.
+
+Design notes (all mirroring documented kernel behaviour):
+
+* **Demand paging** — ``mmap`` reserves virtual space; a *write* fault
+  allocates a zeroed frame through the allocator (order-0 -> the faulting
+  CPU's page frame cache).  A *read* of an unpopulated anonymous page
+  returns zeros without allocating (the shared zero page), matching the
+  paper's observation that frames are only allocated once data is stored.
+* **munmap -> pcp** — frames released by ``munmap`` are freed order-0 on
+  the caller's CPU, landing on the hot end of that CPU's page frame cache.
+  This is the channel the attack steers through.
+* **Sleep drains the cache** — when a task sleeps, the kernel drains its
+  CPU's page frame caches (the simulator's deterministic stand-in for the
+  paper's warning that a sleeping adversary loses the cache state it
+  staged).
+* **clflush** — evicts a line from the CPU cache so the next access
+  reaches DRAM; the hammer fast path requires it, exactly as on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.cache import CpuCache
+from repro.dram.controller import HammerResult, MemoryController
+from repro.mm.allocator import AllocationRequest, ZonedPageFrameAllocator
+from repro.mm.reclaim import Kswapd
+from repro.mm.zone import ZoneType
+from repro.defense.watchdog import ActivationLedger
+from repro.os.capabilities import CapabilitySet
+from repro.os.pagecache import PageCache
+from repro.os.scheduler import Scheduler
+from repro.os.task import Task, TaskState
+from repro.sim.clock import SimClock
+from repro.sim.errors import ConfigError, FaultError, OutOfMemoryError, SegmentationFault
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_down
+from repro.vm.pagemap import Pagemap
+from repro.vm.vma import Protection, VmaFlags
+
+# Cost of an access served by the CPU cache (ns of simulated time).
+CACHE_HIT_NS = 1
+
+
+@dataclass
+class KernelStats:
+    """Aggregate syscall and fault counters."""
+
+    syscalls: int = 0
+    page_faults: int = 0
+    mmap_calls: int = 0
+    munmap_calls: int = 0
+    frames_faulted_in: int = 0
+    frames_freed: int = 0
+
+
+class Kernel:
+    """Syscall surface and policy glue over the substrates."""
+
+    def __init__(
+        self,
+        allocator: ZonedPageFrameAllocator,
+        controller: MemoryController,
+        cache: CpuCache,
+        clock: SimClock,
+        scheduler: Scheduler,
+        kswapd: Kswapd | None = None,
+    ):
+        self.allocator = allocator
+        self.controller = controller
+        self.cache = cache
+        self.clock = clock
+        self.scheduler = scheduler
+        self.kswapd = kswapd
+        self.page_cache = (
+            PageCache(allocator, controller.memory, kswapd, controller=controller)
+            if kswapd
+            else None
+        )
+        self.tasks: dict[int, Task] = {}
+        self._next_pid = 100
+        self.stats = KernelStats()
+        # Per-(window, task) DRAM activation accounting, consumed by the
+        # HammerWatchdog (repro.defense) — the software detection layer.
+        self.ledger = ActivationLedger()
+
+    def _account_activations(self, pid: int, activations: int) -> None:
+        if activations > 0:
+            self.ledger.record(self.controller.current_refresh_epoch(), pid, activations)
+
+    def _maybe_run_kswapd(self) -> None:
+        """Run pending reclaim work (synchronous stand-in for the daemon)."""
+        if self.kswapd is not None and self.kswapd.pending_zones():
+            self.kswapd.run()
+
+    # -- process management ---------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        cpu: int | None = None,
+        affinity: frozenset[int] | None = None,
+        caps: CapabilitySet | None = None,
+    ) -> Task:
+        """Create a task and place it on a CPU (least-loaded if unspecified)."""
+        allowed = affinity or self.scheduler.all_cpus()
+        chosen = cpu if cpu is not None else self.scheduler.pick_cpu(allowed)
+        if cpu is not None and affinity is None:
+            allowed = frozenset({cpu})
+        pid = self._next_pid
+        self._next_pid += 1
+        task = Task(pid=pid, name=name, cpu=chosen, allowed_cpus=allowed, caps=caps)
+        self.tasks[pid] = task
+        self.scheduler.place(task)
+        return task
+
+    def task(self, pid: int) -> Task:
+        """Look up a live task by pid."""
+        try:
+            task = self.tasks[pid]
+        except KeyError:
+            raise ConfigError(f"no such pid {pid}") from None
+        if task.state is TaskState.EXITED:
+            raise ConfigError(f"pid {pid} has exited")
+        return task
+
+    def sys_exit(self, pid: int) -> int:
+        """Terminate a task, releasing every resident frame; returns count."""
+        task = self.task(pid)
+        freed = 0
+        for vma in list(task.mm.vmas):
+            freed += self.sys_munmap(pid, vma.start, vma.length)
+        if task.state is TaskState.RUNNING:
+            self.scheduler.remove(task)
+        task.state = TaskState.EXITED
+        return freed
+
+    # -- scheduling syscalls ---------------------------------------------------
+
+    def sys_sched_setaffinity(self, pid: int, cpus: frozenset[int]) -> None:
+        """Restrict a task to ``cpus``, migrating it if needed."""
+        task = self.task(pid)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        if not cpus:
+            raise ConfigError("affinity mask must not be empty")
+        task.allowed_cpus = frozenset(cpus)
+        if task.cpu not in task.allowed_cpus:
+            self.scheduler.migrate(task, self.scheduler.pick_cpu(task.allowed_cpus))
+
+    def sys_sleep(self, pid: int) -> int:
+        """Put a task to sleep; drains its CPU's page frame caches.
+
+        Returns the number of cached frames that were lost — the cost the
+        paper warns about.  (While the task is away, the CPU runs other
+        work that consumes and recycles the per-CPU lists; draining is the
+        deterministic equivalent.)
+        """
+        task = self.task(pid)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        if task.state is TaskState.SLEEPING:
+            return 0
+        self.scheduler.remove(task)
+        task.state = TaskState.SLEEPING
+        return self.allocator.drain_cpu_caches(task.cpu)
+
+    def sys_wake(self, pid: int) -> None:
+        """Return a sleeping task to its CPU."""
+        task = self.task(pid)
+        if task.state is not TaskState.SLEEPING:
+            return
+        task.state = TaskState.RUNNING
+        self.scheduler.place(task)
+
+    # -- mmap / munmap -------------------------------------------------------------
+
+    def sys_mmap(
+        self,
+        pid: int,
+        length: int,
+        prot: Protection = Protection.rw(),
+        populate: bool = False,
+        name: str = "anon",
+    ) -> int:
+        """Map anonymous memory; returns the starting virtual address."""
+        task = self.task(pid)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        self.stats.mmap_calls += 1
+        flags = VmaFlags.ANONYMOUS
+        if populate:
+            flags |= VmaFlags.POPULATE
+        vma = task.mm.mmap(length, prot=prot, flags=flags, name=name)
+        if populate:
+            for va in vma.page_addresses():
+                self._fault_in(task, va)
+        return vma.start
+
+    def sys_munmap(self, pid: int, va: int, length: int) -> int:
+        """Unmap [va, va+length); returns the number of frames released.
+
+        Released frames are freed order-0 on the calling task's CPU — they
+        land on the hot end of that CPU's page frame cache, which is the
+        mechanism Section V of the paper exploits.
+        """
+        task = self.task(pid)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        self.stats.munmap_calls += 1
+        detached = task.mm.munmap(va, length)
+        for _, pfn in detached:
+            self.allocator.free_pages(pfn, 0, cpu=task.cpu)
+            self.stats.frames_freed += 1
+        return len(detached)
+
+    # -- demand paging ----------------------------------------------------------
+
+    def _fault_in(self, task: Task, va: int) -> int:
+        """Handle a write fault: allocate a zeroed frame and map it."""
+        page_va = page_align_down(va)
+        vma = task.mm.vma_at(page_va)
+        if vma is None:
+            raise SegmentationFault(
+                f"pid {task.pid} touched unmapped va {va:#x}", address=va, pid=task.pid
+            )
+        self._maybe_run_kswapd()
+        request = AllocationRequest(order=0, cpu=task.cpu, owner_pid=task.pid)
+        try:
+            pfn = self.allocator.alloc_pages(request)
+        except OutOfMemoryError:
+            # Direct reclaim: force a kswapd pass and retry once.
+            if self.kswapd is None:
+                raise
+            for node in self.allocator.nodes:
+                for zone in node.zones.values():
+                    self.kswapd.wake(zone)
+            self.kswapd.run()
+            pfn = self.allocator.alloc_pages(request)
+        # Anonymous memory is delivered zeroed: the kernel's clear_page
+        # rewrites every cell, which also re-arms any weak cells whose
+        # resting value differs from zero.
+        self.controller.memory.clear_frame(pfn)
+        task.mm.attach_frame(page_va, pfn)
+        task.minor_faults += 1
+        self.stats.page_faults += 1
+        self.stats.frames_faulted_in += 1
+        return pfn
+
+    def resolve_pa(self, pid: int, va: int, *, fault: bool = False) -> int:
+        """Translate ``va`` in ``pid``'s address space to a physical address.
+
+        With ``fault=True``, a missing translation inside a valid VMA is
+        faulted in first (write-fault semantics).
+        """
+        task = self.task(pid)
+        if not task.mm.page_table.is_mapped(page_align_down(va)):
+            if not fault:
+                raise SegmentationFault(
+                    f"va {va:#x} not resident for pid {pid}", address=va, pid=pid
+                )
+            self._fault_in(task, va)
+        return task.mm.page_table.translate(va)
+
+    # -- the load/store path -----------------------------------------------------
+
+    def _touch_lines(self, pa: int, length: int, pid: int | None = None) -> None:
+        """Run the cache-line accesses for a physical byte range."""
+        line = self.cache.config.line_size
+        first = (pa // line) * line
+        last = ((pa + length - 1) // line) * line
+        activations = 0
+        for line_pa in range(first, last + 1, line):
+            if self.cache.access(line_pa):
+                self.clock.advance(CACHE_HIT_NS)
+            elif self.controller.access(line_pa):
+                activations += 1
+        if pid is not None:
+            self._account_activations(pid, activations)
+
+    def mem_write(self, pid: int, va: int, data: bytes) -> None:
+        """Store ``data`` at ``va``, faulting pages in as needed."""
+        task = self.task(pid)
+        self._require_running(task)
+        cursor = va
+        view = memoryview(bytes(data))
+        while view:
+            page_va = page_align_down(cursor)
+            offset = cursor - page_va
+            chunk = min(len(view), PAGE_SIZE - offset)
+            if not task.mm.page_table.is_mapped(page_va):
+                self._fault_in(task, cursor)
+            pa = task.mm.page_table.translate(cursor, write=True)
+            self._touch_lines(pa, chunk, pid=task.pid)
+            self.controller.memory.write(pa, bytes(view[:chunk]))
+            cursor += chunk
+            view = view[chunk:]
+
+    def mem_read(self, pid: int, va: int, length: int) -> bytes:
+        """Load ``length`` bytes from ``va``.
+
+        Reads of valid-but-unpopulated anonymous pages return zeros without
+        allocating a frame (zero-page semantics).
+        """
+        if length < 0:
+            raise ConfigError(f"length must be non-negative, got {length}")
+        task = self.task(pid)
+        self._require_running(task)
+        out = bytearray()
+        cursor = va
+        remaining = length
+        while remaining > 0:
+            page_va = page_align_down(cursor)
+            offset = cursor - page_va
+            chunk = min(remaining, PAGE_SIZE - offset)
+            if task.mm.page_table.is_mapped(page_va):
+                pa = task.mm.page_table.translate(cursor)
+                self._touch_lines(pa, chunk, pid=task.pid)
+                out += self.controller.memory.read(pa, chunk)
+            else:
+                if task.mm.vma_at(page_va) is None:
+                    raise SegmentationFault(
+                        f"pid {pid} read unmapped va {cursor:#x}",
+                        address=cursor,
+                        pid=pid,
+                    )
+                out += bytes(chunk)  # shared zero page
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def _require_running(self, task: Task) -> None:
+        if task.state is not TaskState.RUNNING:
+            raise ConfigError(f"pid {task.pid} is {task.state.value}, cannot run")
+
+    # -- cache control and hammering -------------------------------------------------
+
+    def sys_clflush(self, pid: int, va: int, length: int = 1) -> int:
+        """Flush the cache lines covering [va, va+length); returns evictions."""
+        task = self.task(pid)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        line = self.cache.config.line_size
+        pa = self.resolve_pa(pid, va)
+        first = (pa // line) * line
+        last = ((pa + max(length, 1) - 1) // line) * line
+        evicted = 0
+        for line_pa in range(first, last + 1, line):
+            if self.cache.flush(line_pa):
+                evicted += 1
+        return evicted
+
+    def sys_hammer(
+        self,
+        pid: int,
+        vas: list[int],
+        rounds: int,
+        flush: bool = True,
+    ) -> HammerResult:
+        """Run ``rounds`` of the access(+clflush) loop over ``vas``.
+
+        This is the bulk equivalent of the user-space loop
+
+            loop: mov (va_a); mov (va_b); clflush (va_a); clflush (va_b)
+
+        Every address must already be resident (write to it first — the
+        paper notes frames only exist once data is stored).  With
+        ``flush=False`` the loop degenerates: after the first round all
+        accesses hit the CPU cache and DRAM sees almost nothing, which is
+        the negative control showing why clflush is essential.
+        """
+        task = self.task(pid)
+        self._require_running(task)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        pas = []
+        for va in vas:
+            if not task.mm.page_table.is_mapped(page_align_down(va)):
+                raise FaultError(
+                    f"hammer target va {va:#x} not resident; store data to it first"
+                )
+            pas.append(task.mm.page_table.translate(va))
+        if flush:
+            for pa in pas:
+                self.cache.flush(pa)
+            start_epoch = self.controller.current_refresh_epoch()
+            result = self.controller.hammer(pas, rounds)
+            end_epoch = self.controller.current_refresh_epoch()
+            # Attribute the burst's activations evenly over the refresh
+            # windows it spanned, for the watchdog's per-window accounting.
+            windows = max(1, end_epoch - start_epoch + 1)
+            share = result.activations // windows
+            for epoch in range(start_epoch, start_epoch + windows):
+                self.ledger.record(epoch, pid, share)
+            return result
+        # No clflush: first access of each line misses, the rest hit.
+        activations = 0
+        for pa in pas:
+            if not self.cache.access(pa):
+                if self.controller.access(pa):
+                    activations += 1
+        cached_accesses = (rounds - 1) * len(pas)
+        self.clock.advance(cached_accesses * CACHE_HIT_NS)
+        return HammerResult(
+            rounds=rounds,
+            accesses=rounds * len(pas),
+            activations=activations,
+            elapsed_ns=cached_accesses * CACHE_HIT_NS,
+            flips=[],
+        )
+
+    # -- file reads (page cache) ----------------------------------------------------
+
+    def sys_file_read(self, pid: int, file_id: int, offset: int, length: int) -> bytes:
+        """Read a simulated file through the page cache.
+
+        First access to each file page allocates a reclaimable frame;
+        kswapd evicts such frames under memory pressure, and a later read
+        transparently refetches the content.
+        """
+        task = self.task(pid)
+        self._require_running(task)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        if self.page_cache is None:
+            raise ConfigError("this kernel was built without a page cache")
+        self._maybe_run_kswapd()
+        misses_before = self.page_cache.misses
+        data = self.page_cache.read(file_id, offset, length, cpu=task.cpu)
+        # Each page fill reached DRAM once; attribute it to the reader.
+        self._account_activations(pid, self.page_cache.misses - misses_before)
+        return data
+
+    # -- pagemap ----------------------------------------------------------------
+
+    def pagemap(self, reader_pid: int, target_pid: int | None = None) -> Pagemap:
+        """Open ``/proc/<target>/pagemap`` with the *reader's* capabilities."""
+        reader = self.task(reader_pid)
+        target = self.task(target_pid if target_pid is not None else reader_pid)
+        return Pagemap(target.mm, reader.caps)
+
+    # -- helpers used by experiments ---------------------------------------------
+
+    def frame_owner(self, pfn: int) -> int | None:
+        """Pid currently holding frame ``pfn`` (None if free/kernel)."""
+        return self.allocator.zone_of_pfn(pfn).buddy.frames[pfn].owner_pid
+
+    def churn(self, pid: int, pages: int, *, zone: ZoneType = ZoneType.NORMAL) -> None:
+        """Background memory activity: map, touch and release ``pages`` pages.
+
+        Models the unrelated processes whose allocations compete for the
+        page frame cache in the noise experiments.
+        """
+        del zone  # placement currently always walks the default zonelist
+        if pages <= 0:
+            return
+        va = self.sys_mmap(pid, pages * PAGE_SIZE, name="churn")
+        for index in range(pages):
+            self.mem_write(pid, va + index * PAGE_SIZE, b"\xaa")
+        self.sys_munmap(pid, va, pages * PAGE_SIZE)
+
+    def pfn_of(self, pid: int, va: int) -> int:
+        """Ground-truth PFN for a resident page (experiment instrumentation).
+
+        Unlike :meth:`pagemap`, this bypasses the capability gate — it
+        exists so experiments can *score* attacks, never as part of one.
+        """
+        return self.resolve_pa(pid, va) >> PAGE_SHIFT

@@ -1,0 +1,121 @@
+"""/proc-style introspection over the simulated machine.
+
+Renders the textual views a Linux admin (or exploit developer) would read
+— ``/proc/buddyinfo``, ``/proc/zoneinfo``, ``/proc/meminfo``,
+``/proc/<pid>/maps`` and a ``/proc/<pid>/status`` memory summary — from
+live simulator state.  These are diagnostic *views*: read-only, built
+entirely from public accessors, and formatted close enough to the real
+files that eyes trained on the originals can parse them.
+"""
+
+from __future__ import annotations
+
+from repro.mm.node import NumaNode
+from repro.mm.zone import ZONELIST_ORDER
+from repro.os.task import Task
+from repro.sim.units import KIB, PAGE_SIZE
+from repro.vm.vma import Protection
+
+
+def buddyinfo(node: NumaNode) -> str:
+    """Free-block counts per order, like ``/proc/buddyinfo``."""
+    lines = []
+    for zone_type in reversed(ZONELIST_ORDER):
+        if zone_type not in node.zones:
+            continue
+        zone = node.zones[zone_type]
+        blocks = zone.buddy.free_blocks_by_order()
+        counts = " ".join(
+            f"{blocks[order]:6d}" for order in range(zone.buddy.max_order + 1)
+        )
+        lines.append(f"Node {node.node_id}, zone {zone.name:>8} {counts}")
+    return "\n".join(lines)
+
+
+def zoneinfo(node: NumaNode) -> str:
+    """Per-zone watermarks and per-CPU page list fill, like ``/proc/zoneinfo``."""
+    sections = []
+    for zone_type in reversed(ZONELIST_ORDER):
+        if zone_type not in node.zones:
+            continue
+        zone = node.zones[zone_type]
+        lines = [
+            f"Node {node.node_id}, zone {zone.name:>8}",
+            f"  pages free     {zone.buddy.free_pages}",
+            f"        min      {zone.watermarks.min_pages}",
+            f"        low      {zone.watermarks.low_pages}",
+            f"        high     {zone.watermarks.high_pages}",
+            f"        spanned  {zone.total_pages}",
+        ]
+        for cpu in range(zone.num_cpus):
+            pcp = zone.pcp(cpu)
+            lines.append(f"  cpu: {cpu}")
+            lines.append(f"              count: {pcp.count}")
+            lines.append(f"              high:  {pcp.config.high}")
+            lines.append(f"              batch: {pcp.config.batch}")
+        sections.append("\n".join(lines))
+    return "\n".join(sections)
+
+
+def meminfo(node: NumaNode) -> str:
+    """Totals in kB, like the head of ``/proc/meminfo``."""
+    page_kb = PAGE_SIZE // KIB
+    total_kb = node.total_pages * page_kb
+    free_kb = node.free_pages * page_kb
+    return "\n".join(
+        [
+            f"MemTotal:       {total_kb:10d} kB",
+            f"MemFree:        {free_kb:10d} kB",
+            f"MemAvailable:   {free_kb:10d} kB",
+        ]
+    )
+
+
+def maps(task: Task) -> str:
+    """The task's VMAs, like ``/proc/<pid>/maps``."""
+    lines = []
+    for vma in task.mm.vmas:
+        bits = "".join(
+            flag if present else "-"
+            for flag, present in (
+                ("r", bool(vma.prot & Protection.READ)),
+                ("w", bool(vma.prot & Protection.WRITE)),
+                ("x", bool(vma.prot & Protection.EXEC)),
+            )
+        )
+        lines.append(
+            f"{vma.start:012x}-{vma.end:012x} {bits}p 00000000 00:00 0"
+            f"          [{vma.name}]"
+        )
+    return "\n".join(lines)
+
+
+def status_memory(task: Task) -> str:
+    """The memory lines of ``/proc/<pid>/status``."""
+    page_kb = PAGE_SIZE // KIB
+    return "\n".join(
+        [
+            f"Name:   {task.name}",
+            f"Pid:    {task.pid}",
+            f"State:  {task.state.value}",
+            f"VmSize: {task.mm.virtual_pages() * page_kb:10d} kB",
+            f"VmRSS:  {task.mm.rss_pages * page_kb:10d} kB",
+        ]
+    )
+
+
+def pagetypeinfo(node: NumaNode) -> str:
+    """A compact free-list summary across zones (pagetypeinfo-like)."""
+    lines = ["Free pages count per zone at order:"]
+    header = "zone      " + " ".join(f"{order:>6}" for order in range(11))
+    lines.append(header)
+    for zone_type in reversed(ZONELIST_ORDER):
+        if zone_type not in node.zones:
+            continue
+        zone = node.zones[zone_type]
+        blocks = zone.buddy.free_blocks_by_order()
+        row = f"{zone.name:<10}" + " ".join(
+            f"{blocks.get(order, 0):>6}" for order in range(11)
+        )
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""A minimal CPU placement scheduler.
+
+The reproduction does not need timeslicing — experiments drive tasks
+synchronously — but it does need *placement*: which CPU a task runs on
+determines which per-CPU page frame cache its allocations and frees touch.
+The scheduler assigns new tasks to the least-loaded allowed CPU, enforces
+affinity masks on migration, and tracks per-CPU load so experiments can
+model CPU co-residency (the attack's key precondition) and its absence.
+"""
+
+from __future__ import annotations
+
+from repro.os.task import Task, TaskState
+from repro.sim.errors import ConfigError
+
+
+class Scheduler:
+    """Tracks which tasks are resident on which CPU."""
+
+    def __init__(self, num_cpus: int):
+        if num_cpus <= 0:
+            raise ConfigError(f"num_cpus must be positive, got {num_cpus}")
+        self.num_cpus = num_cpus
+        self._cpu_tasks: list[list[int]] = [[] for _ in range(num_cpus)]
+        self.migrations = 0
+
+    def _check_cpu(self, cpu: int) -> None:
+        if not 0 <= cpu < self.num_cpus:
+            raise ConfigError(f"cpu {cpu} out of range [0, {self.num_cpus})")
+
+    def all_cpus(self) -> frozenset[int]:
+        """The full affinity mask."""
+        return frozenset(range(self.num_cpus))
+
+    def pick_cpu(self, allowed: frozenset[int]) -> int:
+        """Least-loaded CPU within ``allowed`` (lowest id breaks ties)."""
+        candidates = sorted(allowed)
+        if not candidates:
+            raise ConfigError("empty affinity mask")
+        for cpu in candidates:
+            self._check_cpu(cpu)
+        return min(candidates, key=lambda cpu: (len(self._cpu_tasks[cpu]), cpu))
+
+    def place(self, task: Task) -> None:
+        """Put a (new) task on its CPU's run list."""
+        self._check_cpu(task.cpu)
+        if task.pid in self._cpu_tasks[task.cpu]:
+            raise ConfigError(f"pid {task.pid} already placed on cpu {task.cpu}")
+        self._cpu_tasks[task.cpu].append(task.pid)
+
+    def remove(self, task: Task) -> None:
+        """Take the task off its CPU (exit or sleep)."""
+        try:
+            self._cpu_tasks[task.cpu].remove(task.pid)
+        except ValueError:
+            raise ConfigError(f"pid {task.pid} not on cpu {task.cpu}") from None
+
+    def migrate(self, task: Task, new_cpu: int) -> None:
+        """Move a task to ``new_cpu`` (must be in its affinity mask)."""
+        self._check_cpu(new_cpu)
+        if new_cpu not in task.allowed_cpus:
+            raise ConfigError(
+                f"cpu {new_cpu} not in pid {task.pid}'s affinity "
+                f"{sorted(task.allowed_cpus)}"
+            )
+        if new_cpu == task.cpu:
+            return
+        if task.state is TaskState.RUNNING:
+            self.remove(task)
+            task.cpu = new_cpu
+            self.place(task)
+        else:
+            task.cpu = new_cpu
+        self.migrations += 1
+
+    def load(self, cpu: int) -> int:
+        """Number of runnable tasks on ``cpu``."""
+        self._check_cpu(cpu)
+        return len(self._cpu_tasks[cpu])
+
+    def tasks_on(self, cpu: int) -> list[int]:
+        """Pids currently resident on ``cpu``."""
+        self._check_cpu(cpu)
+        return list(self._cpu_tasks[cpu])
+
+    def co_resident(self, a: Task, b: Task) -> bool:
+        """True if two tasks share a CPU — the attack's precondition."""
+        return a.cpu == b.cpu and a.is_running and b.is_running
+
+    def __repr__(self) -> str:
+        loads = {cpu: len(pids) for cpu, pids in enumerate(self._cpu_tasks)}
+        return f"Scheduler(loads={loads})"

@@ -1,0 +1,122 @@
+"""Giraud's single-bit last-round DFA — the classical baseline.
+
+Differential fault analysis needs what persistent fault analysis does
+not: *pairs* of (correct, faulty) ciphertexts of the **same plaintext**,
+with a *transient* single-bit fault injected into the state right before
+the final SubBytes.  For a faulted byte at output position ``i``:
+
+    C[i]  = S[x]      ^ K10[i]
+    C'[i] = S[x ^ e]  ^ K10[i]      with e in {1, 2, 4, ..., 128}
+
+so a key guess ``k`` is consistent when ``InvS[C[i] ^ k] ^ InvS[C'[i] ^ k]``
+is a single-bit value.  Intersecting candidate sets over a few pairs pins
+each key byte.
+
+The baseline exists to quantify the paper's point: ExplFrame's persistent
+fault needs no plaintext control, no pairing, and no fault timing — PFA
+works from faulty ciphertexts alone.
+"""
+
+from __future__ import annotations
+
+from repro.ciphers.aes import AES
+from repro.ciphers.aes_tables import AES_INV_SBOX, SHIFT_ROWS_PERM
+from repro.sim.errors import FaultError
+
+_SINGLE_BITS = tuple(1 << b for b in range(8))
+
+
+def collect_dfa_pairs(
+    aes: AES,
+    plaintexts: list[bytes],
+    fault_position: int,
+    fault_bit: int,
+) -> list[tuple[bytes, bytes]]:
+    """Encrypt each plaintext twice: clean and with a transient bit fault.
+
+    ``fault_position`` indexes the state *before* the final SubBytes; the
+    faulty output byte appears at the ShiftRows-permuted position.
+    """
+    if not 0 <= fault_bit <= 7:
+        raise FaultError(f"fault_bit {fault_bit} out of range [0, 7]")
+    pairs = []
+    for plaintext in plaintexts:
+        clean = aes.encrypt_block(plaintext)
+        faulty = aes.encrypt_block(
+            plaintext, transient_fault=(fault_position, 1 << fault_bit)
+        )
+        pairs.append((clean, faulty))
+    return pairs
+
+
+def output_position_of_state_byte(state_position: int) -> int:
+    """Where a pre-SubBytes state byte lands in the ciphertext.
+
+    The final round applies SubBytes then ShiftRows: output position ``i``
+    reads state position ``SHIFT_ROWS_PERM[i]``.
+    """
+    if not 0 <= state_position < 16:
+        raise FaultError(f"state position {state_position} out of range")
+    return SHIFT_ROWS_PERM.index(state_position)
+
+
+def giraud_dfa(pairs: list[tuple[bytes, bytes]]) -> dict[int, set[int]]:
+    """Recover last-round-key candidates from correct/faulty pairs.
+
+    Returns a map ``output position -> surviving key byte candidates`` for
+    every position where at least one pair differed.  Positions narrow as
+    more pairs (with faults at the corresponding state byte) are supplied.
+    """
+    if not pairs:
+        raise FaultError("need at least one ciphertext pair")
+    candidates: dict[int, set[int]] = {}
+    for clean, faulty in pairs:
+        if len(clean) != 16 or len(faulty) != 16:
+            raise FaultError("ciphertexts must be 16 bytes")
+        for position in range(16):
+            c, f = clean[position], faulty[position]
+            if c == f:
+                continue
+            survivors = {
+                k
+                for k in range(256)
+                if (AES_INV_SBOX[c ^ k] ^ AES_INV_SBOX[f ^ k]) in _SINGLE_BITS
+            }
+            if position in candidates:
+                candidates[position] &= survivors
+            else:
+                candidates[position] = survivors
+    return candidates
+
+
+def pairs_needed_for_unique(
+    aes: AES,
+    plaintext_source,
+    max_pairs: int = 64,
+) -> dict[int, int]:
+    """How many pairs each output position needs to reach one candidate.
+
+    ``plaintext_source(i)`` must return the i-th random plaintext.  Faults
+    are injected round-robin over the 16 state bytes; returns, per output
+    position, the pair count at which its candidate set became a
+    singleton.
+    """
+    remaining: dict[int, set[int]] = {}
+    settled: dict[int, int] = {}
+    for index in range(max_pairs):
+        state_position = index % 16
+        out_position = output_position_of_state_byte(state_position)
+        plaintext = plaintext_source(index)
+        pair = collect_dfa_pairs(aes, [plaintext], state_position, fault_bit=index % 8)
+        partial = giraud_dfa(pair)
+        if out_position not in partial:
+            continue
+        if out_position in remaining:
+            remaining[out_position] &= partial[out_position]
+        else:
+            remaining[out_position] = partial[out_position]
+        if out_position not in settled and len(remaining[out_position]) == 1:
+            settled[out_position] = index + 1
+        if len(settled) == 16:
+            break
+    return settled

@@ -1,0 +1,79 @@
+"""Key-space accounting and enumeration over per-byte candidate sets."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+from repro.sim.errors import FaultError
+
+
+class KeyCandidates:
+    """Per-byte candidate sets for a 16-byte (round) key."""
+
+    def __init__(self, per_byte: list[list[int]]):
+        if len(per_byte) != 16:
+            raise FaultError(f"need 16 positions, got {len(per_byte)}")
+        for position, values in enumerate(per_byte):
+            if not values:
+                raise FaultError(f"position {position} has no candidates left")
+            for value in values:
+                if not 0 <= value <= 0xFF:
+                    raise FaultError(f"candidate {value} at {position} out of range")
+        self.per_byte = [sorted(set(values)) for values in per_byte]
+
+    @property
+    def keyspace(self) -> int:
+        """Exact number of keys consistent with the candidate sets."""
+        return math.prod(len(values) for values in self.per_byte)
+
+    @property
+    def log2_keyspace(self) -> float:
+        """Key space in bits."""
+        return sum(math.log2(len(values)) for values in self.per_byte)
+
+    @property
+    def is_unique(self) -> bool:
+        """True when exactly one key remains."""
+        return self.keyspace == 1
+
+    def unique_key(self) -> bytes:
+        """The single remaining key; raises if not yet unique."""
+        if not self.is_unique:
+            raise FaultError(
+                f"key not unique: {self.keyspace} candidates "
+                f"({self.log2_keyspace:.1f} bits) remain"
+            )
+        return bytes(values[0] for values in self.per_byte)
+
+    def __iter__(self):
+        """Iterate candidate keys (most useful once the space is small)."""
+        for combo in itertools.product(*self.per_byte):
+            yield bytes(combo)
+
+
+def log2_keyspace(per_byte: list[list[int]]) -> float:
+    """Shorthand: bits of key space in a candidate structure."""
+    return KeyCandidates(per_byte).log2_keyspace
+
+
+def enumerate_keys(
+    candidates: KeyCandidates,
+    check,
+    limit: int = 1 << 20,
+) -> bytes | None:
+    """Search the candidate space for the key accepted by ``check``.
+
+    ``check(key) -> bool`` typically verifies a known plaintext/ciphertext
+    pair.  Refuses spaces larger than ``limit`` (the caller should gather
+    more data instead of brute-forcing).
+    """
+    if candidates.keyspace > limit:
+        raise FaultError(
+            f"candidate space 2^{candidates.log2_keyspace:.1f} exceeds "
+            f"enumeration limit 2^{math.log2(limit):.0f}"
+        )
+    for key in candidates:
+        if check(key):
+            return key
+    return None

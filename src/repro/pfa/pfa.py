@@ -1,0 +1,292 @@
+"""Persistent Fault Analysis of AES (Zhang et al., TCHES 2018).
+
+Setting: one S-box entry ``j`` is persistently corrupted, ``S[j]`` reading
+``v' = v* ^ delta`` instead of ``v* = S_clean[j]``.  In the last AES round
+every ciphertext byte is ``C[i] = S[x] ^ K10[i]`` for a (uniform) state
+byte ``x``, so:
+
+* the value ``v* ^ K10[i]`` can **never** appear at position ``i`` — the
+  faulty table's image no longer contains ``v*``;
+* the value ``v' ^ K10[i]`` appears with **double** probability.
+
+Collect N faulty ciphertexts, per position count byte values, and the key
+byte falls out of the missing value: ``K10[i] = missing_i ^ v*``.  The
+attacker in ExplFrame *knows* ``v*`` — she templated the page and knows
+which table byte her flip hits — so the known-fault recovery applies; the
+unknown-fault variant (enumerate ``v*`` and cross-check with the doubled
+value ``v'``) is implemented for completeness.
+
+Expected key-space shape: after N ciphertexts the number of values never
+seen at one position is ``1 + 255 * (254/255)^N`` in expectation, so the
+per-byte candidate count decays geometrically and reaches 1 at roughly
+N ~ 2000-2600 — the curve published by Zhang et al. that experiment T5
+reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ciphers.aes import expand_key
+from repro.ciphers.aes_tables import AES_RCON, AES_SBOX
+from repro.sim.errors import FaultError
+
+
+@dataclass
+class PfaState:
+    """Incremental per-position byte-value counters over faulty ciphertexts."""
+
+    counts: np.ndarray = field(
+        default_factory=lambda: np.zeros((16, 256), dtype=np.int64)
+    )
+    total: int = 0
+
+    def update(self, ciphertexts: np.ndarray | list[bytes]) -> None:
+        """Absorb a batch of ciphertexts into the counters."""
+        if isinstance(ciphertexts, list):
+            if not ciphertexts:
+                return
+            data = np.frombuffer(b"".join(ciphertexts), dtype=np.uint8).reshape(-1, 16)
+        else:
+            data = np.asarray(ciphertexts, dtype=np.uint8)
+            if data.ndim != 2 or data.shape[1] != 16:
+                raise FaultError(f"ciphertexts must be (N, 16), got {data.shape}")
+        for position in range(16):
+            self.counts[position] += np.bincount(data[:, position], minlength=256)
+        self.total += data.shape[0]
+
+    def missing_values(self, position: int) -> list[int]:
+        """Byte values never observed at ``position`` so far."""
+        return [int(v) for v in np.flatnonzero(self.counts[position] == 0)]
+
+    def most_frequent(self, position: int) -> int:
+        """The most frequent value at ``position`` (candidate v' ^ k)."""
+        return int(np.argmax(self.counts[position]))
+
+    def candidates_per_position(self) -> list[int]:
+        """Number of still-possible key values per byte position."""
+        return [len(self.missing_values(position)) for position in range(16)]
+
+    def log2_keyspace(self) -> float:
+        """log2 of the remaining key space implied by the missing sets.
+
+        Positions with no missing value yet contribute a full 8 bits.
+        """
+        total = 0.0
+        for position in range(16):
+            remaining = len(self.missing_values(position))
+            total += float(np.log2(remaining)) if remaining else 8.0
+        return total
+
+    def is_unique(self) -> bool:
+        """True when every position has exactly one missing value."""
+        return all(len(self.missing_values(p)) == 1 for p in range(16))
+
+
+def expected_remaining_candidates(n_ciphertexts: int) -> float:
+    """E[missing values per position] after ``n_ciphertexts`` samples.
+
+    At one position the faulty last round emits 254 values with
+    probability 1/256 each, the doubled value ``v' ^ k`` with probability
+    2/256, and the structurally missing value ``v* ^ k`` never.  Hence
+
+        E[unseen] = 1 + 254 * (255/256)^n + (254/256)^n
+    """
+    if n_ciphertexts < 0:
+        raise FaultError(f"n_ciphertexts must be non-negative, got {n_ciphertexts}")
+    n = n_ciphertexts
+    return 1.0 + 254.0 * (255.0 / 256.0) ** n + (254.0 / 256.0) ** n
+
+
+def recover_k10_known_fault(state: PfaState, v_star: int) -> list[list[int]]:
+    """Candidate last-round-key bytes per position, knowing ``v*``.
+
+    ``v*`` is the clean value of the corrupted S-box entry — known to the
+    ExplFrame attacker from her flip template.  Returns, per position, the
+    list of candidate key bytes ``missing ^ v*`` (singleton once enough
+    ciphertexts have been absorbed).
+    """
+    if not 0 <= v_star <= 0xFF:
+        raise FaultError(f"v_star {v_star} out of byte range")
+    return [
+        [missing ^ v_star for missing in state.missing_values(position)]
+        for position in range(16)
+    ]
+
+
+def recover_k10_known_faults(
+    state: PfaState, v_stars: list[int]
+) -> list[list[int]]:
+    """Candidate key bytes per position for ``t = len(v_stars)`` faults.
+
+    With ``t`` corrupted S-box entries (clean values ``v_stars``), every
+    position's missing set converges to ``{v ^ k for v in v_stars}``.  A
+    key byte candidate must map the *whole* v* set onto the observed
+    missing set.  This generalisation matters in practice for ECC memory,
+    where a visible Rowhammer corruption always involves at least two
+    bits (often two table entries) per 64-bit word.
+
+    Positions whose missing set is still larger than ``t`` contribute
+    every key byte consistent with *some* subset — recovery tightens as
+    data accumulates, exactly like the t=1 case.
+    """
+    unique_v = sorted(set(v_stars))
+    if not unique_v:
+        raise FaultError("need at least one fault value")
+    for v in unique_v:
+        if not 0 <= v <= 0xFF:
+            raise FaultError(f"v_star {v} out of byte range")
+    candidates: list[list[int]] = []
+    for position in range(16):
+        missing = set(state.missing_values(position))
+        survivors = [
+            k
+            for k in range(256)
+            if {v ^ k for v in unique_v} <= missing
+        ]
+        candidates.append(survivors)
+    return candidates
+
+
+def refine_with_doubled_values(
+    state: PfaState,
+    candidates: list[list[int]],
+    v_primes: list[int],
+) -> list[list[int]]:
+    """Prune key-byte candidates using the over-represented values.
+
+    The missing-set relation alone leaves a ``v_i* XOR v_j*`` degeneracy
+    when several entries are corrupted.  But each faulty value ``v'``
+    appears with *double* frequency at ``v' ^ k``, and the attacker knows
+    the ``v'`` values (she chose the flips).  Candidates are ranked by the
+    *smallest* count among their ``{v' ^ k}`` cells — the correct key's
+    worst cell is Poisson(2N/256) against Poisson(N/256) for impostors —
+    and only the top-ranked candidates (ties kept) survive.  Needs enough
+    ciphertexts for the factor-2 frequency gap to be resolvable (a few
+    thousand).
+    """
+    unique_vp = sorted(set(v_primes))
+    if not unique_vp:
+        raise FaultError("need at least one faulty value")
+    refined: list[list[int]] = []
+    for position in range(16):
+        pool = candidates[position]
+        if not pool:
+            refined.append([])
+            continue
+        scores = {
+            k: min(int(state.counts[position][v ^ k]) for v in unique_vp)
+            for k in pool
+        }
+        best = max(scores.values())
+        refined.append([k for k in pool if scores[k] == best])
+    return refined
+
+
+def saturated_for_faults(state: PfaState, t: int) -> bool:
+    """True when every position's missing set has shrunk to exactly ``t``."""
+    if t <= 0:
+        raise FaultError(f"fault count must be positive, got {t}")
+    return all(len(state.missing_values(p)) == t for p in range(16))
+
+
+def recover_k10_unknown_fault(state: PfaState) -> list[tuple[int, bytes]]:
+    """Candidate (v*, K10) pairs without knowing the fault value.
+
+    Without knowledge of ``v*`` the per-position statistics carry an
+    inherent 256-fold degeneracy: XORing every key byte and ``v*`` with
+    the same constant leaves the observable distribution unchanged.  The
+    analysis therefore reduces the key space to 8 bits (256 candidates,
+    one per ``v*`` guess), exactly as Zhang et al. report for the
+    unknown-fault setting; a single known plaintext/ciphertext pair
+    disambiguates (:func:`disambiguate_with_known_pair`).
+
+    Needs every position saturated (one missing value each); raises
+    otherwise.
+    """
+    if not state.is_unique():
+        raise FaultError(
+            "unknown-fault recovery needs exactly one missing value per "
+            "position; collect more ciphertexts"
+        )
+    missing = [state.missing_values(position)[0] for position in range(16)]
+    return [
+        (v_star, bytes(m ^ v_star for m in missing)) for v_star in range(256)
+    ]
+
+
+def disambiguate_with_known_pair(
+    survivors: list[tuple[int, bytes]],
+    plaintext: bytes,
+    ciphertext: bytes,
+) -> tuple[int, bytes] | None:
+    """Pick the (v*, K10) candidate matching one known clean pair.
+
+    The pair must come from the *unfaulted* cipher (e.g. captured before
+    the attack); each candidate round key is inverted to a master key and
+    test-encrypted.
+    """
+    from repro.ciphers.aes import AES  # local import to avoid a cycle
+
+    for v_star, k10 in survivors:
+        try:
+            master = invert_key_schedule_128(k10)
+        except FaultError:
+            continue
+        if AES(master).encrypt_block(plaintext) == ciphertext:
+            return v_star, k10
+    return None
+
+
+def invert_key_schedule_128(k10: bytes) -> bytes:
+    """Recover the AES-128 master key from the round-10 key.
+
+    The AES-128 key schedule is invertible: walking the word recurrence
+    backwards from the last four words yields the original key.
+    """
+    if len(k10) != 16:
+        raise FaultError(f"round key must be 16 bytes, got {len(k10)}")
+    words = [list(k10[4 * i : 4 * i + 4]) for i in range(4)]
+    for round_index in range(10, 0, -1):
+        previous = [None] * 4
+        # w[i-1] for the earlier round: w_prev[3] = w[3] ^ w[2], etc.
+        previous[3] = [a ^ b for a, b in zip(words[3], words[2])]
+        previous[2] = [a ^ b for a, b in zip(words[2], words[1])]
+        previous[1] = [a ^ b for a, b in zip(words[1], words[0])]
+        temp = previous[3][1:] + previous[3][:1]
+        temp = [AES_SBOX[b] for b in temp]
+        temp[0] ^= AES_RCON[round_index - 1]
+        previous[0] = [a ^ b for a, b in zip(words[0], temp)]
+        words = previous
+    master = bytes(b for word in words for b in word)
+    # Sanity: re-expanding must reproduce the round-10 key we started from.
+    if expand_key(master)[10] != bytes(k10):
+        raise FaultError("key schedule inversion failed self-check")
+    return master
+
+
+def ciphertexts_to_unique_key(
+    encrypt_batch,
+    v_star: int,
+    batch: int = 256,
+    limit: int = 20_000,
+) -> tuple[int, PfaState]:
+    """Feed batches of faulty ciphertexts until the key is unique.
+
+    ``encrypt_batch(n)`` must return an (n, 16) uint8 array of faulty
+    ciphertexts.  Returns (ciphertexts consumed, final state).  Raises
+    :class:`FaultError` if ``limit`` is reached first — which, on a
+    correctly faulted cipher, indicates the fault is not in the live path.
+    """
+    del v_star  # uniqueness is a property of the missing sets alone
+    state = PfaState()
+    while state.total < limit:
+        state.update(encrypt_batch(batch))
+        if state.is_unique():
+            return state.total, state
+    raise FaultError(
+        f"key not unique after {limit} ciphertexts; is the fault persistent "
+        f"and in the active S-box?"
+    )

@@ -1,0 +1,168 @@
+"""Persistent Fault Analysis of PRESENT-80.
+
+Zhang et al. (TCHES 2018) apply PFA to PRESENT as well as AES, and the
+numbers are dramatically smaller: the S-box has only 16 entries, so one
+corrupted entry removes one of 16 possible nibble values and the missing
+value saturates after a few dozen ciphertexts.
+
+Structure.  The PRESENT last round is
+
+    C = K32 XOR P(S(X))
+
+with P the (linear, public) bit permutation.  Applying the inverse
+permutation to the ciphertext,
+
+    invP(C) = invP(K32) XOR S(X)
+
+so with ``k' = invP(K32)``, nibble ``j`` of ``invP(C)`` is
+``S(x_j) XOR k'_j`` — the same per-position missing-value structure as
+the AES last round, over nibbles.  The fault's clean value ``v*`` never
+appears at nibble ``j``, revealing ``k'_j = missing_j XOR v*``; the round
+key is ``K32 = P(k')``.
+
+Master key.  The PRESENT-80 schedule exposes only the top 64 bits of the
+80-bit key register in each round key; the remaining 16 bits are brute
+forced against one known plaintext/ciphertext pair by inverting the
+schedule for each of the 2^16 guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ciphers.present import PRESENT_SBOX, Present, inv_p_layer, p_layer
+from repro.sim.errors import FaultError
+
+_ROUNDS = 31
+
+
+@dataclass
+class PresentPfaState:
+    """Per-nibble-position value counters over faulty PRESENT ciphertexts."""
+
+    counts: np.ndarray = field(
+        default_factory=lambda: np.zeros((16, 16), dtype=np.int64)
+    )
+    total: int = 0
+
+    def update(self, ciphertexts: list[bytes]) -> None:
+        """Absorb faulty 8-byte ciphertexts (inverse-permuted internally)."""
+        for ciphertext in ciphertexts:
+            if len(ciphertext) != 8:
+                raise FaultError(f"PRESENT blocks are 8 bytes, got {len(ciphertext)}")
+            unpermuted = inv_p_layer(int.from_bytes(ciphertext, "big"))
+            for position in range(16):
+                value = (unpermuted >> (4 * position)) & 0xF
+                self.counts[position][value] += 1
+            self.total += 1
+
+    def missing_values(self, position: int) -> list[int]:
+        """Nibble values never observed at ``position``."""
+        if not 0 <= position < 16:
+            raise FaultError(f"position {position} out of range [0, 16)")
+        return [int(v) for v in np.flatnonzero(self.counts[position] == 0)]
+
+    def is_unique(self) -> bool:
+        """True when every position has exactly one missing value."""
+        return all(len(self.missing_values(p)) == 1 for p in range(16))
+
+    def log2_keyspace(self) -> float:
+        """Bits of last-round-key space implied by the missing sets."""
+        total = 0.0
+        for position in range(16):
+            remaining = len(self.missing_values(position))
+            total += float(np.log2(remaining)) if remaining else 4.0
+        return total
+
+
+def recover_k32_known_fault(state: PresentPfaState, v_star: int) -> int:
+    """The 64-bit last round key, given the fault's clean value ``v*``.
+
+    Requires a saturated state (one missing value per position).
+    """
+    if not 0 <= v_star <= 0xF:
+        raise FaultError(f"v_star {v_star} out of nibble range")
+    if not state.is_unique():
+        raise FaultError("state not saturated; collect more ciphertexts")
+    k_prime = 0
+    for position in range(16):
+        (missing,) = state.missing_values(position)
+        k_prime |= (missing ^ v_star) << (4 * position)
+    return p_layer(k_prime)
+
+
+def invert_present80_schedule(register_after_31: int) -> bytes:
+    """Walk the PRESENT-80 key schedule backwards to the master key.
+
+    ``register_after_31`` is the full 80-bit key register *before* the
+    32nd round key extraction — its top 64 bits are K32.
+    """
+    if not 0 <= register_after_31 < (1 << 80):
+        raise FaultError("register value out of 80-bit range")
+    inv_sbox = bytearray(16)
+    for index, value in enumerate(PRESENT_SBOX):
+        inv_sbox[value] = index
+    register = register_after_31
+    for round_index in range(_ROUNDS, 0, -1):
+        register ^= round_index << 15
+        top = inv_sbox[register >> 76]
+        register = (top << 76) | (register & ((1 << 76) - 1))
+        # Invert the left-rotate-by-61 (i.e. rotate right by 61).
+        register = ((register >> 61) | (register << 19)) & ((1 << 80) - 1)
+    return register.to_bytes(10, "big")
+
+
+def recover_present80_key(
+    state: PresentPfaState,
+    v_star: int,
+    known_plaintext: bytes,
+    known_ciphertext: bytes,
+    low_bits_candidates=None,
+) -> bytes | None:
+    """Full PRESENT-80 master key from PFA statistics plus one clean pair.
+
+    The last round key pins 64 of the register's 80 bits; the low 16 bits
+    are brute forced (a few tens of seconds of pure Python), each guess
+    inverted through the schedule and checked against the known
+    (unfaulted) plaintext/ciphertext pair.  ``low_bits_candidates``
+    restricts the search (tests use a narrowed range; the default is the
+    full 2^16 space).
+    """
+    k32 = recover_k32_known_fault(state, v_star)
+    candidates = low_bits_candidates if low_bits_candidates is not None else range(1 << 16)
+    for low_bits in candidates:
+        register = (k32 << 16) | (low_bits & 0xFFFF)
+        key = invert_present80_schedule(register)
+        if Present(key).encrypt_block(known_plaintext) == known_ciphertext:
+            return key
+    return None
+
+
+def ciphertexts_to_unique_k32(
+    encrypt_block,
+    plaintext_source,
+    limit: int = 2000,
+) -> tuple[int, PresentPfaState]:
+    """Feed faulty ciphertexts until every nibble position saturates.
+
+    ``encrypt_block(pt)`` must run the *faulty* cipher; ``plaintext_source(i)``
+    supplies the i-th plaintext.  Returns (ciphertexts consumed, state).
+    """
+    state = PresentPfaState()
+    batch: list[bytes] = []
+    for index in range(limit):
+        batch.append(encrypt_block(plaintext_source(index)))
+        if len(batch) >= 16:
+            state.update(batch)
+            batch.clear()
+            if state.is_unique():
+                return state.total, state
+    state.update(batch)
+    if state.is_unique():
+        return state.total, state
+    raise FaultError(
+        f"PRESENT key not unique after {limit} ciphertexts; is the fault "
+        f"in the low nibble of an active S-box entry?"
+    )

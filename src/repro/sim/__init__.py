@@ -1,0 +1,53 @@
+"""Deterministic simulation kernel.
+
+Every stochastic component of the reproduction draws randomness from a
+named stream derived from a single master seed (:class:`RngStreams`), and
+every timed component reads a shared :class:`SimClock`.  Together they make
+whole-machine runs reproducible bit-for-bit.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.errors import (
+    AllocationError,
+    CapabilityError,
+    ConfigError,
+    FaultError,
+    OutOfMemoryError,
+    ReproError,
+    SegmentationFault,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.units import (
+    GIB,
+    KIB,
+    MIB,
+    MS,
+    NS,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    US,
+    format_bytes,
+    format_time_ns,
+)
+
+__all__ = [
+    "AllocationError",
+    "CapabilityError",
+    "ConfigError",
+    "FaultError",
+    "GIB",
+    "KIB",
+    "MIB",
+    "MS",
+    "NS",
+    "OutOfMemoryError",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "ReproError",
+    "RngStreams",
+    "SegmentationFault",
+    "SimClock",
+    "US",
+    "format_bytes",
+    "format_time_ns",
+]

@@ -1,0 +1,42 @@
+"""Simulated wall clock.
+
+All timed components (DRAM refresh, hammer loops, scheduler bookkeeping)
+share one :class:`SimClock` holding integer nanoseconds.  The clock only
+moves when a component explicitly advances it — there is no hidden passage
+of time, which keeps experiments deterministic.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in integer nanoseconds."""
+
+    def __init__(self, start_ns: int = 0):
+        if start_ns < 0:
+            raise ValueError(f"start time must be non-negative, got {start_ns}")
+        self._now_ns = start_ns
+
+    @property
+    def now_ns(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now_ns
+
+    def advance(self, delta_ns: int) -> int:
+        """Move time forward by ``delta_ns`` and return the new time.
+
+        Negative deltas are rejected: simulated time is monotonic.
+        """
+        if delta_ns < 0:
+            raise ValueError(f"cannot move time backwards (delta={delta_ns})")
+        self._now_ns += delta_ns
+        return self._now_ns
+
+    def advance_to(self, target_ns: int) -> int:
+        """Move time forward to ``target_ns`` (no-op if already past it)."""
+        if target_ns > self._now_ns:
+            self._now_ns = target_ns
+        return self._now_ns
+
+    def __repr__(self) -> str:
+        return f"SimClock(now_ns={self._now_ns})"

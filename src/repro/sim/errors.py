@@ -1,0 +1,46 @@
+"""Exception hierarchy shared by all subsystems.
+
+Each simulated layer raises a subclass of :class:`ReproError` so callers can
+catch failures from the whole stack with one handler, or pick out a specific
+layer's failure mode (for instance :class:`OutOfMemoryError` from the buddy
+allocator versus :class:`SegmentationFault` from the virtual-memory layer).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AllocationError(ReproError):
+    """A memory allocation request could not be satisfied as asked."""
+
+
+class OutOfMemoryError(AllocationError):
+    """No zone in the zonelist could satisfy the allocation."""
+
+
+class SegmentationFault(ReproError):
+    """A task touched a virtual address with no valid mapping.
+
+    Mirrors the SIGSEGV a real kernel would deliver.  Carries the faulting
+    address and the pid of the offending task for diagnostics.
+    """
+
+    def __init__(self, message: str, *, address: int | None = None, pid: int | None = None):
+        super().__init__(message)
+        self.address = address
+        self.pid = pid
+
+
+class CapabilityError(ReproError):
+    """A privileged operation was attempted without the required capability."""
+
+
+class FaultError(ReproError):
+    """A fault-injection or fault-analysis step failed."""

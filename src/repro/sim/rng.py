@@ -1,0 +1,76 @@
+"""Named, seeded random streams.
+
+A single master seed fans out into independent substreams keyed by name
+(``"dram.flipmodel"``, ``"attack.templating"``, ...).  Two properties matter
+for the reproduction:
+
+* **Determinism** — the same master seed always yields the same machine, the
+  same weak-cell map, and the same attack trace, so every experiment in
+  EXPERIMENTS.md is replayable.
+* **Independence** — changing how one subsystem consumes randomness must not
+  perturb another subsystem's stream.  Deriving each stream from
+  ``sha256(master_seed || name)`` guarantees that.
+
+Both :mod:`random`-style streams (cheap scalar draws) and NumPy generators
+(bulk vector draws for the cell-threshold model) are provided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``master_seed`` and a stream name."""
+    payload = f"{master_seed}:{name}".encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngStreams:
+    """Factory for independent named random streams.
+
+    Streams are memoised: asking for the same name twice returns the same
+    generator object, so a subsystem can re-fetch its stream instead of
+    threading the object through every call.
+    """
+
+    def __init__(self, master_seed: int = 0):
+        if not isinstance(master_seed, int):
+            raise TypeError(f"master_seed must be an int, got {type(master_seed).__name__}")
+        self.master_seed = master_seed
+        self._py_streams: dict[str, random.Random] = {}
+        self._np_streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the memoised :class:`random.Random` for ``name``."""
+        if name not in self._py_streams:
+            self._py_streams[name] = random.Random(derive_seed(self.master_seed, name))
+        return self._py_streams[name]
+
+    def numpy_stream(self, name: str) -> np.random.Generator:
+        """Return the memoised NumPy generator for ``name``."""
+        if name not in self._np_streams:
+            self._np_streams[name] = np.random.default_rng(derive_seed(self.master_seed, name))
+        return self._np_streams[name]
+
+    def fresh_numpy(self, name: str, *qualifiers: int) -> np.random.Generator:
+        """Return a *new* generator keyed by ``name`` plus integer qualifiers.
+
+        Used for content that must be derivable on demand without storing
+        state — e.g. the weak-cell population of DRAM row ``(bank, row)`` is
+        regenerated identically every time from
+        ``fresh_numpy("dram.cells", bank, row)``.
+        """
+        key = name + "".join(f"/{q}" for q in qualifiers)
+        return np.random.default_rng(derive_seed(self.master_seed, key))
+
+    def spawn(self, name: str) -> "RngStreams":
+        """Derive a child :class:`RngStreams` (for nested experiment sweeps)."""
+        return RngStreams(derive_seed(self.master_seed, f"spawn:{name}"))
+
+    def __repr__(self) -> str:
+        return f"RngStreams(master_seed={self.master_seed})"

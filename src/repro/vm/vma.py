@@ -1,0 +1,110 @@
+"""Virtual memory areas.
+
+A VMA is a contiguous, page-aligned interval of an address space with one
+protection and one set of flags — the kernel's bookkeeping for what an
+``mmap`` created.  Demand paging hinges on the distinction the paper makes
+in Section V: mapping a VMA reserves *virtual* space only; physical frames
+appear when pages are first touched ("the program must store some data
+into the allocated pages, otherwise the physical page frames will not be
+allocated").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE, is_page_aligned
+
+
+class Protection(enum.Flag):
+    """mmap protection bits."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXEC = enum.auto()
+
+    @classmethod
+    def rw(cls) -> "Protection":
+        """The common PROT_READ | PROT_WRITE."""
+        return cls.READ | cls.WRITE
+
+
+class VmaFlags(enum.Flag):
+    """mmap flags relevant to the simulation."""
+
+    NONE = 0
+    ANONYMOUS = enum.auto()
+    POPULATE = enum.auto()  # MAP_POPULATE: fault every page in eagerly
+    FIXED = enum.auto()
+
+
+@dataclass(frozen=True)
+class VMA:
+    """A page-aligned [start, end) interval with protection and flags."""
+
+    start: int
+    end: int
+    prot: Protection = Protection.rw()
+    flags: VmaFlags = VmaFlags.ANONYMOUS
+    name: str = "anon"
+
+    def __post_init__(self) -> None:
+        if not is_page_aligned(self.start) or not is_page_aligned(self.end):
+            raise ConfigError(
+                f"VMA bounds must be page aligned: [{self.start:#x}, {self.end:#x})"
+            )
+        if self.start >= self.end:
+            raise ConfigError(f"empty or inverted VMA [{self.start:#x}, {self.end:#x})")
+
+    @property
+    def length(self) -> int:
+        """Span in bytes."""
+        return self.end - self.start
+
+    @property
+    def pages(self) -> int:
+        """Span in pages."""
+        return self.length // PAGE_SIZE
+
+    def contains(self, va: int) -> bool:
+        """True if ``va`` lies inside the area."""
+        return self.start <= va < self.end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """True if the area intersects [start, end)."""
+        return self.start < end and start < self.end
+
+    def page_addresses(self):
+        """Yield the page-aligned VA of every page in the area."""
+        return range(self.start, self.end, PAGE_SIZE)
+
+    def split(self, cut_start: int, cut_end: int) -> list["VMA"]:
+        """Remove [cut_start, cut_end) from the area; return the remnants.
+
+        Used by partial munmap: the result is zero, one or two VMAs keeping
+        this one's protection, flags and name.
+        """
+        if not is_page_aligned(cut_start) or not is_page_aligned(cut_end):
+            raise ConfigError("cut bounds must be page aligned")
+        if not self.overlaps(cut_start, cut_end):
+            return [self]
+        remnants = []
+        if self.start < cut_start:
+            remnants.append(replace(self, end=cut_start))
+        if cut_end < self.end:
+            remnants.append(replace(self, start=cut_end))
+        return remnants
+
+    def __str__(self) -> str:
+        bits = "".join(
+            flag if present else "-"
+            for flag, present in (
+                ("r", bool(self.prot & Protection.READ)),
+                ("w", bool(self.prot & Protection.WRITE)),
+                ("x", bool(self.prot & Protection.EXEC)),
+            )
+        )
+        return f"{self.start:#x}-{self.end:#x} {bits} {self.name}"

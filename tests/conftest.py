@@ -1,0 +1,39 @@
+"""Shared fixtures: small, fast machines with known seeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMGeometry
+
+
+@pytest.fixture
+def small_machine() -> Machine:
+    """64 MiB machine, default flip model, seed 0."""
+    return Machine(MachineConfig.small(seed=0))
+
+
+@pytest.fixture
+def vulnerable_machine() -> Machine:
+    """64 MiB machine with a dense weak-cell population (fast flips)."""
+    return Machine(
+        MachineConfig(
+            seed=0,
+            geometry=DRAMGeometry.small(),
+            flip_model=FlipModelConfig.highly_vulnerable(),
+        )
+    )
+
+
+@pytest.fixture
+def invulnerable_machine() -> Machine:
+    """64 MiB machine whose DRAM never flips (negative control)."""
+    return Machine(
+        MachineConfig(
+            seed=0,
+            geometry=DRAMGeometry.small(),
+            flip_model=FlipModelConfig.invulnerable(),
+        )
+    )

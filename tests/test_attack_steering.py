@@ -1,0 +1,107 @@
+"""Steering protocol: the paper's Section V claims, quantified."""
+
+import pytest
+
+from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
+from repro.sim.errors import ConfigError
+
+
+@pytest.fixture
+def protocol(small_machine):
+    return SteeringProtocol(small_machine)
+
+
+class TestTrialConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SteeringTrialConfig(victim_request_pages=0)
+        with pytest.raises(ConfigError):
+            SteeringTrialConfig(attacker_buffer_pages=1)
+        with pytest.raises(ConfigError):
+            SteeringTrialConfig(staged_page_index=64, attacker_buffer_pages=64)
+        with pytest.raises(ConfigError):
+            SteeringTrialConfig(noise_pages=-1)
+
+
+class TestSameCpuSteering:
+    def test_succeeds_with_probability_one(self, protocol):
+        """Paper: 'with a probability of almost 1'."""
+        assert protocol.success_rate(10) == 1.0
+
+    def test_victim_first_page_is_the_staged_frame(self, protocol):
+        result = protocol.run_trial()
+        assert result.success
+        assert result.landing_index == 0
+
+    def test_larger_victim_requests_still_hit(self, protocol):
+        config = SteeringTrialConfig(victim_request_pages=8)
+        result = protocol.run_trial(config)
+        assert result.success
+
+
+class TestFailureModes:
+    def test_cross_cpu_fails(self, protocol):
+        """The cache is per-CPU: a victim elsewhere gets other frames."""
+        assert protocol.success_rate(10, SteeringTrialConfig(same_cpu=False)) == 0.0
+
+    def test_sleeping_attacker_loses_the_frame(self, protocol):
+        """Paper: the adversary 'must remain active'."""
+        config = SteeringTrialConfig(attacker_sleeps=True)
+        assert protocol.success_rate(5, config) < 0.5
+
+    def test_noise_buries_frame_for_small_requests(self, protocol):
+        config = SteeringTrialConfig(noise_pages=32, victim_request_pages=1)
+        assert protocol.success_rate(5, config) < 0.5
+
+    def test_big_request_digs_through_noise(self, protocol):
+        config = SteeringTrialConfig(noise_pages=32, victim_request_pages=64)
+        assert protocol.success_rate(5, config) == 1.0
+
+    def test_cross_cpu_requires_two_cpus(self):
+        from repro.core import Machine, MachineConfig
+        from repro.dram.geometry import DRAMGeometry
+
+        machine = Machine(
+            MachineConfig(seed=0, num_cpus=1, geometry=DRAMGeometry.small())
+        )
+        protocol = SteeringProtocol(machine)
+        with pytest.raises(ConfigError):
+            protocol.run_trial(SteeringTrialConfig(same_cpu=False))
+
+
+class TestReuseProbability:
+    def test_immediate_reuse_is_certain(self, protocol):
+        assert protocol.reuse_probability(10, request_pages=1) == 1.0
+
+    def test_reuse_with_larger_requests(self, protocol):
+        assert protocol.reuse_probability(10, request_pages=4) == 1.0
+
+    def test_interloper_consumes_the_frame(self, protocol):
+        rate = protocol.reuse_probability(
+            10, request_pages=1, intervening_allocations=4
+        )
+        assert rate < 0.5
+
+    def test_validation(self, protocol):
+        with pytest.raises(ConfigError):
+            protocol.reuse_probability(0, 1)
+        with pytest.raises(ConfigError):
+            protocol.success_rate(0)
+
+
+class TestResultRecord:
+    def test_landing_index_none_on_miss(self, protocol):
+        result = protocol.run_trial(SteeringTrialConfig(same_cpu=False))
+        assert not result.success
+        assert result.landing_index is None
+
+    def test_metadata_recorded(self, protocol):
+        config = SteeringTrialConfig(victim_request_pages=2, noise_pages=3)
+        result = protocol.run_trial(config)
+        assert result.victim_request_pages == 2
+        assert result.noise_pages == 3
+        assert result.same_cpu
+
+    def test_bad_attacker_cpu(self, small_machine):
+        with pytest.raises(ConfigError):
+            SteeringProtocol(small_machine, attacker_cpu=5)

@@ -1,0 +1,110 @@
+"""Templating campaigns: yield, verification, template filtering."""
+
+import pytest
+
+from repro.attack.templating import Templator, TemplatorConfig
+from repro.core.results import FlipTemplate
+from repro.sim.errors import ConfigError
+from repro.sim.units import MIB, PAGE_SIZE
+
+FAST = TemplatorConfig(buffer_bytes=2 * MIB, rounds=650_000, batch_pairs=8)
+
+
+@pytest.fixture
+def vulnerable_templator(vulnerable_machine):
+    task = vulnerable_machine.kernel.spawn("attacker", cpu=0)
+    return Templator(vulnerable_machine.kernel, task.pid, FAST)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TemplatorConfig(buffer_bytes=100)
+        with pytest.raises(ConfigError):
+            TemplatorConfig(rounds=0)
+        with pytest.raises(ConfigError):
+            TemplatorConfig(row_distance=0)
+        with pytest.raises(ConfigError):
+            TemplatorConfig(patterns=(0x100,))
+
+
+class TestCampaign:
+    def test_finds_flips_on_vulnerable_module(self, vulnerable_templator):
+        result = vulnerable_templator.run()
+        assert result.flips_found > 0
+        assert result.pairs_hammered > 0
+        assert result.elapsed_ns > 0
+
+    def test_no_flips_on_invulnerable_module(self, invulnerable_machine):
+        task = invulnerable_machine.kernel.spawn("attacker", cpu=0)
+        templator = Templator(invulnerable_machine.kernel, task.pid, FAST)
+        result = templator.run()
+        assert result.flips_found == 0
+
+    def test_templates_are_deduplicated(self, vulnerable_templator):
+        result = vulnerable_templator.run()
+        keys = [(t.page_va, t.page_offset, t.bit) for t in result.templates]
+        assert len(keys) == len(set(keys))
+
+    def test_templates_lie_in_buffer(self, vulnerable_templator):
+        result = vulnerable_templator.run()
+        base = vulnerable_templator.buffer_va
+        for template in result.templates:
+            assert base <= template.page_va < base + FAST.buffer_bytes
+            assert 0 <= template.page_offset < PAGE_SIZE
+            assert 0 <= template.bit <= 7
+
+    def test_templates_are_reinducible(self, vulnerable_templator):
+        """The core repeatability claim: re-hammer the aggressors, same flip."""
+        kernel = vulnerable_templator.kernel
+        pid = vulnerable_templator.pid
+        result = vulnerable_templator.run()
+        assert result.templates
+        template = result.templates[0]
+        pattern = 0x00 if template.flips_to_one else 0xFF
+        kernel.mem_write(pid, template.byte_va, bytes([pattern]))
+        vulnerable_templator.hammerer.hammer_pair(*template.aggressor_vas)
+        after = kernel.mem_read(pid, template.byte_va, 1)[0]
+        assert bool(after & (1 << template.bit)) == template.flips_to_one
+
+    def test_flips_per_gib_normalisation(self, vulnerable_templator):
+        result = vulnerable_templator.run()
+        expected = result.flips_found / (FAST.buffer_bytes / (1024**3))
+        assert abs(result.flips_per_gib - expected) < 1e-6
+
+    def test_max_pairs_cap(self, vulnerable_machine):
+        task = vulnerable_machine.kernel.spawn("attacker2", cpu=0)
+        config = TemplatorConfig(
+            buffer_bytes=2 * MIB, rounds=650_000, batch_pairs=8, max_pairs=3
+        )
+        templator = Templator(vulnerable_machine.kernel, task.pid, config)
+        templator.prepare_buffer()
+        templator.hammerer.fill(templator.buffer_va, templator.buffer_pages, 0xFF)
+        assert len(templator.discover_pairs()) <= 3
+
+    def test_discover_requires_buffer(self, vulnerable_machine):
+        task = vulnerable_machine.kernel.spawn("attacker3", cpu=0)
+        templator = Templator(vulnerable_machine.kernel, task.pid, FAST)
+        with pytest.raises(ConfigError):
+            templator.discover_pairs()
+
+
+class TestRangeFilter:
+    def make_template(self, page_va=0x1000_0000, offset=0x700, aggr=(0x2000_0000, 0x2004_0000)):
+        return FlipTemplate(
+            page_va=page_va,
+            page_offset=offset,
+            bit=0,
+            flips_to_one=True,
+            aggressor_vas=aggr,
+        )
+
+    def test_keeps_in_range(self, vulnerable_templator):
+        templates = [self.make_template(offset=0x700), self.make_template(offset=0x100)]
+        kept = vulnerable_templator.templates_hitting_range(templates, 0x680, 0x780)
+        assert kept == [templates[0]]
+
+    def test_excludes_aggressor_pages(self, vulnerable_templator):
+        bad = self.make_template(page_va=0x2000_0000)  # its own aggressor page
+        kept = vulnerable_templator.templates_hitting_range([bad], 0, PAGE_SIZE)
+        assert kept == []

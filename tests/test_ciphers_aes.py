@@ -1,0 +1,125 @@
+"""AES correctness: FIPS-197 vectors, round trips, fault hooks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ciphers.aes import AES, InvalidKeySize, expand_key
+from repro.ciphers.aes_tables import AES_SBOX
+from repro.ciphers.faults import FaultSpec, apply_fault
+
+PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+KEY128 = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+KEY192 = bytes.fromhex("000102030405060708090a0b0c0d0e0f1011121314151617")
+KEY256 = bytes(range(32))
+
+
+class TestFipsVectors:
+    def test_aes128(self):
+        assert AES(KEY128).encrypt_block(PT).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_aes192(self):
+        assert AES(KEY192).encrypt_block(PT).hex() == "dda97ca4864cdfe06eaf70a0ec0d7191"
+
+    def test_aes256(self):
+        assert AES(KEY256).encrypt_block(PT).hex() == "8ea2b7ca516745bfeafc49904b496089"
+
+    def test_key_expansion_appendix_a(self):
+        """FIPS-197 Appendix A.1: last round key of the 128-bit schedule."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        round_keys = expand_key(key)
+        assert round_keys[10].hex() == "d014f9a8c9ee2589e13f0cc8b6630ca6"
+
+    def test_round_key_count(self):
+        assert len(expand_key(KEY128)) == 11
+        assert len(expand_key(KEY192)) == 13
+        assert len(expand_key(KEY256)) == 15
+
+
+class TestRoundTrips:
+    @given(key=st.binary(min_size=16, max_size=16), pt=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_encrypt_decrypt_128(self, key, pt):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(pt)) == pt
+
+    @given(key=st.binary(min_size=32, max_size=32), pt=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_encrypt_decrypt_256(self, key, pt):
+        aes = AES(key)
+        assert aes.decrypt_block(aes.encrypt_block(pt)) == pt
+
+    def test_encrypt_many(self):
+        aes = AES(KEY128)
+        blocks = [bytes([i]) * 16 for i in range(4)]
+        assert aes.encrypt_many(blocks) == [aes.encrypt_block(b) for b in blocks]
+
+
+class TestValidation:
+    def test_bad_key_size(self):
+        with pytest.raises(InvalidKeySize):
+            AES(b"short")
+        with pytest.raises(InvalidKeySize):
+            expand_key(bytes(20))
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            AES(KEY128).encrypt_block(b"short")
+        with pytest.raises(ValueError):
+            AES(KEY128).decrypt_block(b"short")
+
+    def test_bad_sbox_from_provider(self):
+        aes = AES(KEY128, sbox_provider=lambda: b"tiny")
+        with pytest.raises(ValueError):
+            aes.encrypt_block(PT)
+
+
+class TestFaultySbox:
+    def test_faulty_provider_changes_ciphertexts(self):
+        faulty = apply_fault(AES_SBOX, FaultSpec(index=0, bit=0))
+        clean_ct = AES(KEY128).encrypt_block(PT)
+        # The faulty table is consulted every round; most blocks differ.
+        faulty_ct = AES(KEY128, sbox_provider=lambda: faulty).encrypt_block(PT)
+        assert clean_ct != faulty_ct or True  # may coincide for one block...
+        # ...but over many random-ish blocks at least one must differ.
+        diffs = 0
+        clean_aes = AES(KEY128)
+        faulty_aes = AES(KEY128, sbox_provider=lambda: faulty)
+        for i in range(32):
+            block = bytes([i, 255 - i] * 8)
+            if clean_aes.encrypt_block(block) != faulty_aes.encrypt_block(block):
+                diffs += 1
+        assert diffs > 0
+
+    def test_key_schedule_uses_clean_sbox_by_default(self):
+        faulty = apply_fault(AES_SBOX, FaultSpec(index=0x42, bit=3))
+        aes = AES(KEY128, sbox_provider=lambda: faulty)
+        assert aes.round_keys == expand_key(KEY128)
+
+    def test_provider_reread_every_block(self):
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return AES_SBOX
+
+        aes = AES(KEY128, sbox_provider=provider)
+        aes.encrypt_block(PT)
+        aes.encrypt_block(PT)
+        assert len(calls) == 2
+
+
+class TestTransientFault:
+    def test_fault_changes_exactly_one_byte(self):
+        aes = AES(KEY128)
+        clean = aes.encrypt_block(PT)
+        faulty = aes.encrypt_block(PT, transient_fault=(0, 0x01))
+        differing = [i for i in range(16) if clean[i] != faulty[i]]
+        assert len(differing) == 1
+
+    def test_zero_mask_is_identity(self):
+        aes = AES(KEY128)
+        assert aes.encrypt_block(PT, transient_fault=(3, 0)) == aes.encrypt_block(PT)
+
+    def test_position_validated(self):
+        with pytest.raises(ValueError):
+            AES(KEY128).encrypt_block(PT, transient_fault=(16, 1))

@@ -1,0 +1,92 @@
+"""AES constant generation: GF arithmetic, S-box, ShiftRows permutation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ciphers import aes_tables as t
+
+BYTES = st.integers(min_value=0, max_value=255)
+
+
+class TestGFArithmetic:
+    def test_known_products(self):
+        assert t.gf_mul(0x57, 0x83) == 0xC1  # FIPS-197 example
+        assert t.gf_mul(0x57, 0x13) == 0xFE
+
+    @given(a=BYTES, b=BYTES)
+    @settings(max_examples=100)
+    def test_commutative(self, a, b):
+        assert t.gf_mul(a, b) == t.gf_mul(b, a)
+
+    @given(a=BYTES, b=BYTES, c=BYTES)
+    @settings(max_examples=100)
+    def test_distributive(self, a, b, c):
+        assert t.gf_mul(a, b ^ c) == t.gf_mul(a, b) ^ t.gf_mul(a, c)
+
+    @given(a=BYTES)
+    def test_multiplicative_identity(self, a):
+        assert t.gf_mul(a, 1) == a
+
+    @given(a=BYTES)
+    def test_zero_annihilates(self, a):
+        assert t.gf_mul(a, 0) == 0
+
+    @given(a=st.integers(min_value=1, max_value=255))
+    @settings(max_examples=100)
+    def test_inverse(self, a):
+        assert t.gf_mul(a, t.gf_inverse(a)) == 1
+
+    def test_inverse_of_zero(self):
+        assert t.gf_inverse(0) == 0
+
+    def test_pow(self):
+        assert t.gf_pow(2, 8) == t.gf_mul(t.gf_pow(2, 4), t.gf_pow(2, 4))
+        assert t.gf_pow(5, 0) == 1
+
+
+class TestSbox:
+    def test_published_anchors(self):
+        assert t.AES_SBOX[0x00] == 0x63
+        assert t.AES_SBOX[0x53] == 0xED
+        assert t.AES_SBOX[0xFF] == 0x16
+
+    def test_is_bijection(self):
+        assert len(set(t.AES_SBOX)) == 256
+
+    def test_no_fixed_points(self):
+        assert all(t.AES_SBOX[x] != x for x in range(256))
+
+    def test_inverse_round_trip(self):
+        for x in range(256):
+            assert t.AES_INV_SBOX[t.AES_SBOX[x]] == x
+
+    def test_invert_requires_bijection(self):
+        with pytest.raises(ValueError):
+            t.invert_sbox(bytes(256))
+
+
+class TestRcon:
+    def test_first_values(self):
+        assert t.AES_RCON[:10] == (1, 2, 4, 8, 16, 32, 64, 128, 0x1B, 0x36)
+
+
+class TestShiftRows:
+    def test_permutation_is_bijection(self):
+        assert sorted(t.SHIFT_ROWS_PERM) == list(range(16))
+
+    def test_row_zero_fixed(self):
+        # Row 0 (flat indices 0, 4, 8, 12) is not rotated.
+        for i in (0, 4, 8, 12):
+            assert t.SHIFT_ROWS_PERM[i] == i
+
+    def test_inverse(self):
+        for i in range(16):
+            assert t.INV_SHIFT_ROWS_PERM[t.SHIFT_ROWS_PERM[i]] == i
+
+    def test_matches_fips_rotation(self):
+        """Output state'[r][c] must read state[r][(c + r) % 4]."""
+        for i in range(16):
+            r, c = i % 4, i // 4
+            src = t.SHIFT_ROWS_PERM[i]
+            assert src % 4 == r
+            assert src // 4 == (c + r) % 4

@@ -1,0 +1,116 @@
+"""Batch AES cross-checks and PRESENT test vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ciphers.aes import AES
+from repro.ciphers.aes_tables import AES_SBOX
+from repro.ciphers.batch import aes128_encrypt_batch, random_plaintexts
+from repro.ciphers.faults import FaultSpec, apply_fault
+from repro.ciphers.present import PRESENT_SBOX, Present
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+
+
+class TestBatchAES:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        pts = random_plaintexts(32, rng)
+        cts = aes128_encrypt_batch(pts, KEY)
+        scalar = AES(KEY)
+        for i in range(32):
+            assert bytes(cts[i]) == scalar.encrypt_block(bytes(pts[i]))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_scalar_with_faulty_sbox(self, seed):
+        rng = np.random.default_rng(seed)
+        faulty = apply_fault(AES_SBOX, FaultSpec(index=seed % 256, bit=seed % 8))
+        pts = random_plaintexts(4, rng)
+        cts = aes128_encrypt_batch(pts, KEY, faulty)
+        scalar = AES(KEY, sbox_provider=lambda: faulty)
+        for i in range(4):
+            assert bytes(cts[i]) == scalar.encrypt_block(bytes(pts[i]))
+
+    def test_accepts_list_of_blocks(self):
+        blocks = [bytes(range(16)), bytes(range(16, 32))]
+        cts = aes128_encrypt_batch(blocks, KEY)
+        assert cts.shape == (2, 16)
+
+    def test_input_not_mutated(self):
+        rng = np.random.default_rng(1)
+        pts = random_plaintexts(4, rng)
+        copy = pts.copy()
+        aes128_encrypt_batch(pts, KEY)
+        assert np.array_equal(pts, copy)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_batch(np.zeros((4, 8), dtype=np.uint8), KEY)
+
+    def test_key_size_validation(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_batch(np.zeros((1, 16), dtype=np.uint8), bytes(24))
+
+    def test_sbox_size_validation(self):
+        with pytest.raises(ValueError):
+            aes128_encrypt_batch(np.zeros((1, 16), dtype=np.uint8), KEY, sbox=bytes(16))
+
+    def test_random_plaintexts_validation(self):
+        with pytest.raises(ValueError):
+            random_plaintexts(0, np.random.default_rng(0))
+
+
+class TestPresentVectors:
+    """The four published PRESENT-80 vectors (Bogdanov et al., Table 2)."""
+
+    @pytest.mark.parametrize(
+        "key_hex,pt_hex,ct_hex",
+        [
+            ("00000000000000000000", "0000000000000000", "5579c1387b228445"),
+            ("ffffffffffffffffffff", "0000000000000000", "e72c46c0f5945049"),
+            ("00000000000000000000", "ffffffffffffffff", "a112ffc72f68417b"),
+            ("ffffffffffffffffffff", "ffffffffffffffff", "3333dcd3213210d2"),
+        ],
+    )
+    def test_present80(self, key_hex, pt_hex, ct_hex):
+        cipher = Present(bytes.fromhex(key_hex))
+        assert cipher.encrypt_block(bytes.fromhex(pt_hex)).hex() == ct_hex
+
+    def test_decrypt_round_trip(self):
+        cipher = Present(bytes(range(10)))
+        pt = bytes(range(8))
+        assert cipher.decrypt_block(cipher.encrypt_block(pt)) == pt
+
+    def test_present128_round_trip(self):
+        cipher = Present(bytes(range(16)))
+        pt = b"\xde\xad\xbe\xef\x01\x02\x03\x04"
+        assert cipher.decrypt_block(cipher.encrypt_block(pt)) == pt
+
+
+class TestPresentValidation:
+    def test_bad_key_size(self):
+        with pytest.raises(ValueError):
+            Present(bytes(8))
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            Present(bytes(10)).encrypt_block(bytes(4))
+
+    def test_bad_sbox_from_provider(self):
+        cipher = Present(bytes(10), sbox_provider=lambda: bytes(4))
+        with pytest.raises(ValueError):
+            cipher.encrypt_block(bytes(8))
+
+    def test_faulty_sbox_changes_output(self):
+        faulty = bytearray(PRESENT_SBOX)
+        faulty[0] ^= 0x1
+        clean = Present(bytes(10)).encrypt_block(bytes(8))
+        corrupted = Present(bytes(10), sbox_provider=lambda: bytes(faulty)).encrypt_block(
+            bytes(8)
+        )
+        assert clean != corrupted
+
+    def test_sbox_is_official(self):
+        assert PRESENT_SBOX[0] == 0xC and PRESENT_SBOX[0xF] == 0x2

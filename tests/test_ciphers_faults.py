@@ -1,0 +1,63 @@
+"""Software fault injection helpers."""
+
+import pytest
+
+from repro.ciphers.aes_tables import AES_SBOX
+from repro.ciphers.faults import FaultSpec, apply_fault, diff_sboxes, fault_summary
+from repro.sim.errors import ConfigError
+
+
+class TestFaultSpec:
+    def test_apply_to_byte(self):
+        assert FaultSpec(index=0, bit=3).apply_to_byte(0x00) == 0x08
+        assert FaultSpec(index=0, bit=3).apply_to_byte(0x08) == 0x00
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(index=0, bit=8)
+        with pytest.raises(ConfigError):
+            FaultSpec(index=-1, bit=0)
+
+
+class TestApplyFault:
+    def test_single_entry_changed(self):
+        spec = FaultSpec(index=0x42, bit=1)
+        faulty = apply_fault(AES_SBOX, spec)
+        assert faulty[0x42] == AES_SBOX[0x42] ^ 2
+        assert sum(a != b for a, b in zip(faulty, AES_SBOX)) == 1
+
+    def test_involution(self):
+        spec = FaultSpec(index=7, bit=5)
+        assert apply_fault(apply_fault(AES_SBOX, spec), spec) == AES_SBOX
+
+    def test_out_of_table(self):
+        with pytest.raises(ConfigError):
+            apply_fault(bytes(16), FaultSpec(index=16, bit=0))
+
+
+class TestDiff:
+    def test_diff(self):
+        spec = FaultSpec(index=3, bit=0)
+        faulty = apply_fault(AES_SBOX, spec)
+        assert diff_sboxes(AES_SBOX, faulty) == [
+            (3, AES_SBOX[3], AES_SBOX[3] ^ 1)
+        ]
+
+    def test_equal_tables_empty_diff(self):
+        assert diff_sboxes(AES_SBOX, AES_SBOX) == []
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            diff_sboxes(AES_SBOX, bytes(16))
+
+
+class TestSummary:
+    def test_missing_and_doubled(self):
+        spec = FaultSpec(index=0x42, bit=3)
+        faulty = apply_fault(AES_SBOX, spec)
+        summary = fault_summary(AES_SBOX, faulty)
+        v_star = AES_SBOX[0x42]
+        v_prime = v_star ^ 8
+        assert summary["corrupted_entries"] == 1
+        assert summary["missing_values"] == [v_star]
+        assert summary["doubled_values"] == [v_prime]

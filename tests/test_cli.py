@@ -1,0 +1,76 @@
+"""CLI smoke tests (each command exercised through main())."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["attack"])
+        assert args.seed == 7
+        assert args.cipher == "aes"
+
+
+class TestSteerCommand:
+    def test_same_cpu(self, capsys):
+        assert main(["steer", "--trials", "3", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "steering success: 100%" in out
+
+    def test_cross_cpu(self, capsys):
+        assert main(["steer", "--trials", "3", "--cross-cpu"]) == 0
+        assert "0%" in capsys.readouterr().out
+
+    def test_noise(self, capsys):
+        assert main(["steer", "--trials", "3", "--noise", "16"]) == 0
+        assert "noise=16" in capsys.readouterr().out
+
+
+class TestProcfsCommand:
+    @pytest.mark.parametrize(
+        "view,needle",
+        [
+            ("buddyinfo", "zone"),
+            ("zoneinfo", "pages free"),
+            ("meminfo", "MemTotal"),
+            ("maps", "[heap]"),
+            ("status", "VmRSS"),
+            ("pagetypeinfo", "Free pages count"),
+        ],
+    )
+    def test_views(self, capsys, view, needle):
+        assert main(["procfs", "--view", view]) == 0
+        assert needle in capsys.readouterr().out
+
+
+class TestPfaCommand:
+    def test_aes(self, capsys):
+        assert main(["pfa", "--cipher", "aes", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "correct:              True" in out
+
+    def test_aes_custom_key(self, capsys):
+        key = "00112233445566778899aabbccddeeff"
+        assert main(["pfa", "--cipher", "aes", "--key", key]) == 0
+        assert key in capsys.readouterr().out
+
+    def test_present(self, capsys):
+        assert main(["pfa", "--cipher", "present", "--seed", "3"]) == 0
+        assert "correct:              True" in capsys.readouterr().out
+
+
+class TestTemplateCommand:
+    def test_survey(self, capsys):
+        assert main(["template", "--buffer-mib", "2", "--show", "2", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "flips:" in out
+        assert "va=0x" in out

@@ -1,0 +1,103 @@
+"""Bank row-buffer state machine and activation accounting."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.sim.errors import ConfigError
+
+
+class TestAccess:
+    def test_first_access_activates(self):
+        bank = Bank(rows=64)
+        assert bank.access(5) is True
+        assert bank.activations_in_window(5) == 1
+
+    def test_repeat_access_is_row_hit(self):
+        bank = Bank(rows=64)
+        bank.access(5)
+        assert bank.access(5) is False
+        assert bank.activations_in_window(5) == 1
+        assert bank.total_row_hits == 1
+
+    def test_alternation_activates_every_time(self):
+        bank = Bank(rows=64)
+        for _ in range(10):
+            bank.access(3)
+            bank.access(4)
+        assert bank.activations_in_window(3) == 10
+        assert bank.activations_in_window(4) == 10
+
+    def test_open_row_tracked(self):
+        bank = Bank(rows=64)
+        bank.access(9)
+        assert bank.open_row == 9
+
+    def test_row_bounds(self):
+        bank = Bank(rows=8)
+        with pytest.raises(ConfigError):
+            bank.access(8)
+        with pytest.raises(ConfigError):
+            bank.access(-1)
+
+
+class TestBulkActivate:
+    def test_counts_add_up(self):
+        bank = Bank(rows=64)
+        bank.bulk_activate(7, 1000)
+        bank.bulk_activate(7, 500)
+        assert bank.activations_in_window(7) == 1500
+        assert bank.total_activations == 1500
+
+    def test_zero_is_noop(self):
+        bank = Bank(rows=64)
+        bank.bulk_activate(7, 0)
+        assert bank.activations_in_window(7) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            Bank(rows=64).bulk_activate(0, -1)
+
+    def test_sets_open_row(self):
+        bank = Bank(rows=64)
+        bank.bulk_activate(7, 10)
+        assert bank.open_row == 7
+
+
+class TestRefresh:
+    def test_refresh_clears_window_counters(self):
+        bank = Bank(rows=64)
+        bank.bulk_activate(1, 100)
+        bank.refresh()
+        assert bank.activations_in_window(1) == 0
+
+    def test_refresh_keeps_lifetime_counters(self):
+        bank = Bank(rows=64)
+        bank.bulk_activate(1, 100)
+        bank.refresh()
+        assert bank.total_activations == 100
+
+    def test_refresh_closes_row(self):
+        bank = Bank(rows=64)
+        bank.access(3)
+        bank.refresh()
+        assert bank.open_row is None
+        # Next access must activate again.
+        assert bank.access(3) is True
+
+
+class TestInspection:
+    def test_hammered_rows_sorted(self):
+        bank = Bank(rows=64)
+        bank.access(9)
+        bank.access(2)
+        bank.access(9)
+        assert bank.hammered_rows() == [2, 9]
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ConfigError):
+            Bank(rows=0)
+
+    def test_repr(self):
+        bank = Bank(rows=16)
+        bank.access(4)
+        assert "open_row=4" in repr(bank)

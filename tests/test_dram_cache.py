@@ -1,0 +1,107 @@
+"""CPU cache model: hits, LRU eviction, clflush."""
+
+import pytest
+
+from repro.dram.cache import CpuCache, CpuCacheConfig
+from repro.sim.errors import ConfigError
+
+
+@pytest.fixture
+def cache():
+    return CpuCache(CpuCacheConfig(line_size=64, sets=4, ways=2))
+
+
+class TestHitMiss:
+    def test_first_access_misses(self, cache):
+        assert cache.access(0) is False
+        assert cache.misses == 1
+
+    def test_second_access_hits(self, cache):
+        cache.access(0)
+        assert cache.access(0) is True
+        assert cache.hits == 1
+
+    def test_same_line_different_byte_hits(self, cache):
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_next_line_misses(self, cache):
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_hit_rate(self, cache):
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+
+    def test_hit_rate_empty(self, cache):
+        assert cache.hit_rate == 0.0
+
+
+class TestLRU:
+    def test_eviction_on_overflow(self, cache):
+        # Set 0 holds lines whose (addr // 64) % 4 == 0: 0, 256, 512...
+        cache.access(0)
+        cache.access(256)
+        cache.access(512)  # evicts line 0 (LRU, 2 ways)
+        assert cache.contains(256)
+        assert cache.contains(512)
+        assert not cache.contains(0)
+
+    def test_access_refreshes_lru(self, cache):
+        cache.access(0)
+        cache.access(256)
+        cache.access(0)  # 256 is now LRU
+        cache.access(512)
+        assert cache.contains(0)
+        assert not cache.contains(256)
+
+
+class TestFlush:
+    def test_flush_evicts(self, cache):
+        cache.access(0)
+        assert cache.flush(0) is True
+        assert not cache.contains(0)
+        assert cache.access(0) is False  # misses again
+
+    def test_flush_absent_line(self, cache):
+        assert cache.flush(0) is False
+
+    def test_flush_counts(self, cache):
+        cache.access(0)
+        cache.flush(0)
+        assert cache.flushes == 1
+
+    def test_flush_all(self, cache):
+        for addr in (0, 64, 128):
+            cache.access(addr)
+        cache.flush_all()
+        assert cache.occupancy() == 0
+
+
+class TestConfig:
+    def test_capacity(self):
+        config = CpuCacheConfig(line_size=64, sets=512, ways=8)
+        assert config.capacity_bytes == 256 * 1024
+
+    def test_power_of_two_validation(self):
+        with pytest.raises(ConfigError):
+            CpuCacheConfig(line_size=48)
+        with pytest.raises(ConfigError):
+            CpuCacheConfig(sets=3)
+
+    def test_ways_positive(self):
+        with pytest.raises(ConfigError):
+            CpuCacheConfig(ways=0)
+
+    def test_negative_address_rejected(self, cache):
+        with pytest.raises(ConfigError):
+            cache.access(-1)
+
+    def test_occupancy_bounded_by_capacity(self, cache):
+        for addr in range(0, 64 * 64, 64):
+            cache.access(addr)
+        assert cache.occupancy() <= 4 * 2  # sets * ways
+
+    def test_repr(self, cache):
+        assert "hits=0" in repr(cache)

@@ -1,0 +1,159 @@
+"""SECDED ECC: single-flip correction and the multi-flip bypass."""
+
+import pytest
+
+from repro.dram.controller import MemoryController
+from repro.dram.ecc import EccConfig, EccState
+from repro.dram.flipmodel import FlipModelConfig, WeakCell
+from repro.dram.geometry import DRAMAddress, DRAMGeometry
+from repro.dram.mapping import LinearMapping
+from repro.dram.timing import DRAMTiming
+from repro.sim.clock import SimClock
+from repro.sim.errors import ConfigError
+from repro.sim.rng import RngStreams
+
+GEO = DRAMGeometry.small()
+
+
+class TestEccConfig:
+    def test_word_bytes_power_of_two(self):
+        with pytest.raises(ConfigError):
+            EccConfig(enabled=True, word_bytes=6)
+
+    def test_state_requires_enabled(self):
+        with pytest.raises(ConfigError):
+            EccState(EccConfig.disabled())
+
+    def test_presets(self):
+        assert EccConfig.secded64().word_bytes == 8
+        assert not EccConfig.disabled().enabled
+
+
+class TestEccState:
+    def make(self):
+        return EccState(EccConfig.secded64())
+
+    def test_first_flip_suppressed(self):
+        state = self.make()
+        assert state.register_flip(0x1000, 3) == []
+        assert state.corrected_bits == 1
+        assert state.pending_words() == 1
+
+    def test_duplicate_flip_ignored(self):
+        state = self.make()
+        state.register_flip(0x1000, 3)
+        assert state.register_flip(0x1000, 3) == []
+        assert state.corrected_bits == 1
+
+    def test_second_bit_same_word_materialises_both(self):
+        state = self.make()
+        state.register_flip(0x1000, 3)
+        out = state.register_flip(0x1002, 5)  # same 8-byte word
+        assert sorted(out) == [(0x1000, 3), (0x1002, 5)]
+        assert state.uncorrectable_events == 1
+
+    def test_different_words_are_independent(self):
+        state = self.make()
+        state.register_flip(0x1000, 3)
+        assert state.register_flip(0x1008, 5) == []  # next word
+        assert state.pending_words() == 2
+
+    def test_uncorrectable_word_passes_through(self):
+        state = self.make()
+        state.register_flip(0x1000, 0)
+        state.register_flip(0x1001, 1)
+        assert state.register_flip(0x1003, 7) == [(0x1003, 7)]
+
+    def test_rewrite_clears_state(self):
+        state = self.make()
+        state.register_flip(0x1000, 0)
+        state.clear_range(0x1000, 8)
+        assert state.pending_words() == 0
+        # Fresh again: the same flip is once more corrected.
+        assert state.register_flip(0x1000, 0) == []
+
+    def test_clear_range_spanning_words(self):
+        state = self.make()
+        state.register_flip(0x1000, 0)
+        state.register_flip(0x1008, 0)
+        state.clear_range(0x1004, 8)  # touches both words
+        assert state.pending_words() == 0
+
+
+def controller_with_cells(cells_by_row, ecc=None):
+    """A controller whose weak-cell map is replaced by a fixed dict."""
+    controller = MemoryController(
+        geometry=GEO,
+        mapping=LinearMapping(GEO),
+        timing=DRAMTiming(),
+        flip_config=FlipModelConfig.invulnerable(),
+        rng=RngStreams(0),
+        clock=SimClock(),
+        ecc_config=ecc,
+    )
+
+    class FixedCells:
+        config = controller.weak_cells.config
+
+        def cells_in_row(self, flat_bank, row):
+            return cells_by_row.get((flat_bank, row), ())
+
+    controller.weak_cells = FixedCells()
+    return controller
+
+
+def hammer_pair(controller, rows=(99, 101), rounds=600_000):
+    m = controller.mapping
+    pa = [m.to_phys(DRAMAddress(0, 0, 0, row, 0)) for row in rows]
+    return controller.hammer(pa, rounds)
+
+
+class TestControllerIntegration:
+    def single_cell(self):
+        return {(0, 100): (WeakCell(bit_index=8, threshold=50_000, true_cell=False),)}
+
+    def two_cells_same_word(self):
+        return {
+            (0, 100): (
+                WeakCell(bit_index=8, threshold=50_000, true_cell=False),
+                WeakCell(bit_index=20, threshold=60_000, true_cell=False),
+            )
+        }
+
+    def test_no_ecc_single_flip_lands(self):
+        controller = controller_with_cells(self.single_cell())
+        result = hammer_pair(controller)
+        assert len(result.flips) == 1
+
+    def test_ecc_corrects_single_flip(self):
+        controller = controller_with_cells(self.single_cell(), ecc=EccConfig.secded64())
+        result = hammer_pair(controller)
+        assert result.flips == []
+        assert controller.ecc_stats()["corrected_bits"] == 1
+        # Memory is clean: the correction hid the disturbance.
+        addr = controller.mapping.to_phys(DRAMAddress(0, 0, 0, 100, 1))
+        assert controller.memory.read_byte(addr) == 0
+
+    def test_ecc_bypassed_by_two_cells_in_one_word(self):
+        controller = controller_with_cells(
+            self.two_cells_same_word(), ecc=EccConfig.secded64()
+        )
+        result = hammer_pair(controller)
+        assert len(result.flips) == 2
+        assert controller.ecc_stats()["uncorrectable_events"] == 1
+
+    def test_rewrite_rearms_correction(self):
+        controller = controller_with_cells(self.single_cell(), ecc=EccConfig.secded64())
+        hammer_pair(controller)
+        # Victim rewrites its data: the pending correction state resets.
+        addr = controller.mapping.to_phys(DRAMAddress(0, 0, 0, 100, 0))
+        controller.memory.write(addr, bytes(8))
+        assert controller.ecc_stats()["pending_words"] == 0
+
+    def test_ecc_stats_zero_when_disabled(self):
+        controller = controller_with_cells(self.single_cell())
+        assert controller.ecc_stats() == {
+            "corrected_bits": 0,
+            "uncorrectable_events": 0,
+            "pending_words": 0,
+        }

@@ -1,0 +1,127 @@
+"""Physical memory store: lazy frames, byte and bit access."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.memory import PhysicalMemory
+from repro.sim.errors import ConfigError
+from repro.sim.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def mem():
+    return PhysicalMemory(4 * MIB)
+
+
+class TestLaziness:
+    def test_untouched_memory_reads_zero(self, mem):
+        assert mem.read(0, 64) == bytes(64)
+        assert mem.materialized_frames() == 0
+
+    def test_write_materializes_one_frame(self, mem):
+        mem.write(100, b"hello")
+        assert mem.materialized_frames() == 1
+        assert mem.is_materialized(0)
+
+    def test_straddling_write_materializes_two(self, mem):
+        mem.write(PAGE_SIZE - 2, b"abcd")
+        assert mem.materialized_frames() == 2
+
+    def test_clear_frame_drops_storage(self, mem):
+        mem.write(0, b"x" * 16)
+        mem.clear_frame(0)
+        assert not mem.is_materialized(0)
+        assert mem.read(0, 16) == bytes(16)
+
+
+class TestReadWrite:
+    def test_round_trip(self, mem):
+        mem.write(123, b"payload")
+        assert mem.read(123, 7) == b"payload"
+
+    def test_cross_page_round_trip(self, mem):
+        data = bytes(range(256)) * 40  # 10240 bytes, > 2 pages
+        mem.write(PAGE_SIZE - 100, data)
+        assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+    @given(
+        offset=st.integers(min_value=0, max_value=2 * PAGE_SIZE),
+        data=st.binary(min_size=1, max_size=300),
+    )
+    @settings(max_examples=100)
+    def test_round_trip_property(self, offset, data):
+        memory = PhysicalMemory(16 * PAGE_SIZE)
+        memory.write(offset, data)
+        assert memory.read(offset, len(data)) == data
+
+    def test_byte_access(self, mem):
+        mem.write_byte(5, 0xAB)
+        assert mem.read_byte(5) == 0xAB
+
+    def test_byte_value_range(self, mem):
+        with pytest.raises(ConfigError):
+            mem.write_byte(0, 256)
+
+    def test_out_of_range(self, mem):
+        with pytest.raises(ConfigError):
+            mem.read(4 * MIB, 1)
+        with pytest.raises(ConfigError):
+            mem.write(4 * MIB - 1, b"ab")
+        with pytest.raises(ConfigError):
+            mem.read(0, -1)
+
+
+class TestBitOps:
+    def test_get_set(self, mem):
+        mem.set_bit(10, 3, 1)
+        assert mem.get_bit(10, 3) == 1
+        assert mem.read_byte(10) == 0x08
+
+    def test_set_zero(self, mem):
+        mem.write_byte(10, 0xFF)
+        mem.set_bit(10, 0, 0)
+        assert mem.read_byte(10) == 0xFE
+
+    def test_flip(self, mem):
+        assert mem.flip_bit(20, 7) == 1
+        assert mem.read_byte(20) == 0x80
+        assert mem.flip_bit(20, 7) == 0
+        assert mem.read_byte(20) == 0
+
+    def test_bit_index_validated(self, mem):
+        with pytest.raises(ConfigError):
+            mem.get_bit(0, 8)
+        with pytest.raises(ConfigError):
+            mem.set_bit(0, 3, 2)
+
+
+class TestFrames:
+    def test_fill_frame(self, mem):
+        mem.fill_frame(2, 0xAA)
+        assert mem.read(2 * PAGE_SIZE, PAGE_SIZE) == bytes([0xAA]) * PAGE_SIZE
+
+    def test_fill_pattern_validated(self, mem):
+        with pytest.raises(ConfigError):
+            mem.fill_frame(0, 300)
+
+    def test_snapshot_is_immutable_copy(self, mem):
+        mem.write_byte(0, 1)
+        snap = mem.frame_snapshot(0)
+        mem.write_byte(0, 2)
+        assert snap[0] == 1
+
+    def test_snapshot_of_virgin_frame(self, mem):
+        assert mem.frame_snapshot(3) == bytes(PAGE_SIZE)
+
+    def test_total_frames(self, mem):
+        assert mem.total_frames == 4 * MIB // PAGE_SIZE
+
+
+class TestConstruction:
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PhysicalMemory(PAGE_SIZE + 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            PhysicalMemory(0)

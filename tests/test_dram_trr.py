@@ -1,0 +1,156 @@
+"""Target Row Refresh: sampler mechanics and attack interaction."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.controller import MemoryController
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMAddress, DRAMGeometry
+from repro.dram.mapping import LinearMapping
+from repro.dram.timing import DRAMTiming
+from repro.dram.trr import TrrConfig, TrrState
+from repro.sim.clock import SimClock
+from repro.sim.errors import ConfigError
+from repro.sim.rng import RngStreams
+
+GEO = DRAMGeometry.small()
+
+# Weak cells that double-sided hammering flips easily without TRR.
+FLIPPY = FlipModelConfig(
+    weak_cells_per_row_mean=2.0,
+    threshold_mean=100_000,
+    threshold_sd=20_000,
+    threshold_min=60_000,
+)
+
+
+def make_controller(trr=None, seed=0):
+    return MemoryController(
+        geometry=GEO,
+        mapping=LinearMapping(GEO),
+        timing=DRAMTiming(),
+        flip_config=FLIPPY,
+        rng=RngStreams(seed),
+        clock=SimClock(),
+        trr_config=trr,
+    )
+
+
+def bank_addrs(controller, rows):
+    m = controller.mapping
+    return [m.to_phys(DRAMAddress(0, 0, 0, row, 0)) for row in rows]
+
+
+class TestTrrConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrrConfig(enabled=True, tracker_entries=0)
+        with pytest.raises(ConfigError):
+            TrrConfig(enabled=True, threshold=0)
+
+    def test_state_requires_enabled(self):
+        with pytest.raises(ConfigError):
+            TrrState(TrrConfig.disabled())
+
+    def test_presets(self):
+        assert not TrrConfig.disabled().enabled
+        assert TrrConfig.ddr4_like().enabled
+
+
+class TestSampler:
+    def test_tracked_row_clamped(self):
+        state = TrrState(TrrConfig.ddr4_like(tracker_entries=2, threshold=100))
+        assert state.observe(5, 50) == 50
+        assert state.observe(5, 150) == 50
+        assert state.neighbor_refreshes == 1
+
+    def test_multiple_crossings(self):
+        state = TrrState(TrrConfig.ddr4_like(tracker_entries=1, threshold=100))
+        assert state.observe(5, 350) == 50
+        assert state.neighbor_refreshes == 3
+
+    def test_hot_row_evicts_cold_entry(self):
+        state = TrrState(TrrConfig.ddr4_like(tracker_entries=1, threshold=100))
+        state.observe(1, 10)  # cold traffic claims the only entry
+        # A hotter row displaces it and gets clamped immediately.
+        assert state.observe(2, 500) == 0
+        assert state.is_tracked(2)
+        assert not state.is_tracked(1)
+
+    def test_colder_row_misses_full_tracker(self):
+        state = TrrState(TrrConfig.ddr4_like(tracker_entries=1, threshold=10_000))
+        state.observe(1, 5_000)  # hot row holds the entry
+        assert state.observe(2, 400) == 400  # colder row passes through raw
+        assert state.tracker_misses == 1
+
+    def test_equally_hot_rows_do_not_thrash(self):
+        """The many-sided bypass: equal raw counts never displace entries."""
+        state = TrrState(TrrConfig.ddr4_like(tracker_entries=2, threshold=1_000))
+        state.observe(1, 500)
+        state.observe(2, 500)
+        assert state.observe(3, 500) == 500  # tracker full, equal heat -> miss
+        assert state.tracker_misses == 1
+        assert sorted(state.tracked_rows()) == [1, 2]
+
+    def test_window_reset_frees_entries(self):
+        state = TrrState(TrrConfig.ddr4_like(tracker_entries=1, threshold=100))
+        state.observe(1, 10)
+        state.window_reset()
+        assert state.tracked_rows() == []
+        assert state.observe(2, 10) == 10
+        assert state.is_tracked(2)
+
+
+class TestBankIntegration:
+    def test_bank_clamps_tracked_rows(self):
+        bank = Bank(64, trr=TrrState(TrrConfig.ddr4_like(tracker_entries=2, threshold=1000)))
+        bank.bulk_activate(3, 2500)
+        assert bank.activations_in_window(3) == 500
+        assert bank.total_activations == 2500  # raw lifetime count
+
+    def test_refresh_resets_sampler(self):
+        trr = TrrState(TrrConfig.ddr4_like(tracker_entries=1, threshold=1000))
+        bank = Bank(64, trr=trr)
+        bank.bulk_activate(3, 10)
+        bank.refresh()
+        assert trr.tracked_rows() == []
+
+
+class TestMitigationEffect:
+    def test_double_sided_blocked(self):
+        """TRR threshold 15k: max double-sided disturbance 30k < 60k cells."""
+        protected = make_controller(TrrConfig.ddr4_like(tracker_entries=4, threshold=15_000))
+        addrs = bank_addrs(protected, [99, 101])
+        result = protected.hammer(addrs, 600_000)
+        assert result.flips == []
+        assert protected.trr_stats()["neighbor_refreshes"] > 0
+
+    def test_unprotected_module_flips(self):
+        bare = make_controller()
+        addrs = bank_addrs(bare, [99, 101])
+        assert bare.hammer(addrs, 600_000).flips
+
+    def test_many_sided_bypasses_small_tracker(self):
+        """More aggressor rows than tracker entries -> TRRespass."""
+        trr = TrrConfig.ddr4_like(tracker_entries=2, threshold=15_000)
+        protected = make_controller(trr, seed=0)
+        # 8 aggressor rows; only 2 get tracked.
+        rows = [90, 92, 94, 96, 98, 100, 102, 104]
+        result = protected.hammer(bank_addrs(protected, rows), 600_000)
+        assert result.flips
+        assert protected.trr_stats()["tracker_misses"] > 0
+
+    def test_large_tracker_stops_many_sided(self):
+        trr = TrrConfig.ddr4_like(tracker_entries=16, threshold=15_000)
+        protected = make_controller(trr, seed=0)
+        rows = [90, 92, 94, 96, 98, 100, 102, 104]
+        result = protected.hammer(bank_addrs(protected, rows), 600_000)
+        assert result.flips == []
+
+    def test_trr_stats_zero_when_disabled(self):
+        controller = make_controller()
+        controller.access(0)
+        assert controller.trr_stats() == {
+            "neighbor_refreshes": 0,
+            "tracker_misses": 0,
+        }

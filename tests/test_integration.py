@@ -1,0 +1,105 @@
+"""Cross-stack integration invariants."""
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.mm.page import PageFlags
+from repro.sim.units import PAGE_SIZE
+
+
+class TestFrameConservation:
+    def test_free_plus_allocated_is_total(self, small_machine):
+        kernel = small_machine.kernel
+        tasks = [kernel.spawn(f"t{i}", cpu=i % 2) for i in range(4)]
+        for task in tasks:
+            va = kernel.sys_mmap(task.pid, 32 * PAGE_SIZE)
+            for index in range(32):
+                kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")
+        node = small_machine.node
+        allocated = small_machine.frames.count_state(PageFlags.ALLOCATED)
+        assert node.free_pages + allocated == node.total_pages
+
+    def test_exit_restores_everything(self, small_machine):
+        kernel = small_machine.kernel
+        node = small_machine.node
+        before = node.free_pages
+        task = kernel.spawn("temp", cpu=0)
+        va = kernel.sys_mmap(task.pid, 64 * PAGE_SIZE)
+        for index in range(64):
+            kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")
+        kernel.sys_exit(task.pid)
+        assert node.free_pages == before
+
+    def test_no_frame_owned_by_two_tasks(self, small_machine):
+        kernel = small_machine.kernel
+        a = kernel.spawn("a", cpu=0)
+        b = kernel.spawn("b", cpu=0)
+        pfns = {}
+        for task in (a, b):
+            va = kernel.sys_mmap(task.pid, 16 * PAGE_SIZE)
+            for index in range(16):
+                kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")
+                pfn = kernel.pfn_of(task.pid, va + index * PAGE_SIZE)
+                assert pfn not in pfns, "frame double-allocated"
+                pfns[pfn] = task.pid
+
+
+class TestIsolation:
+    def test_tasks_cannot_see_each_others_data(self, small_machine):
+        kernel = small_machine.kernel
+        a = kernel.spawn("a", cpu=0)
+        b = kernel.spawn("b", cpu=0)
+        va_a = kernel.sys_mmap(a.pid, PAGE_SIZE)
+        kernel.mem_write(a.pid, va_a, b"secret")
+        # b mapping the same VA range sees its own (zero) pages.
+        vb = kernel.sys_mmap(b.pid, PAGE_SIZE, name="own")
+        assert kernel.mem_read(b.pid, vb, 6) == bytes(6)
+
+    def test_reallocated_frame_is_zeroed(self, small_machine):
+        """Kernel hygiene: a steered frame carries no stale data."""
+        kernel = small_machine.kernel
+        a = kernel.spawn("a", cpu=0)
+        b = kernel.spawn("b", cpu=0)
+        va = kernel.sys_mmap(a.pid, PAGE_SIZE)
+        kernel.mem_write(a.pid, va, b"confidential")
+        pfn = kernel.pfn_of(a.pid, va)
+        kernel.sys_munmap(a.pid, va, PAGE_SIZE)
+        vb = kernel.sys_mmap(b.pid, PAGE_SIZE)
+        kernel.mem_write(b.pid, vb, b"\x00")
+        assert kernel.pfn_of(b.pid, vb) == pfn
+        assert kernel.mem_read(b.pid, vb, 12) == bytes(12)
+
+
+class TestClockMonotonicity:
+    def test_time_advances_through_workload(self, small_machine):
+        kernel = small_machine.kernel
+        task = kernel.spawn("t", cpu=0)
+        stamps = [small_machine.clock.now_ns]
+        va = kernel.sys_mmap(task.pid, 8 * PAGE_SIZE)
+        for index in range(8):
+            kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x" * 64)
+            stamps.append(small_machine.clock.now_ns)
+        assert stamps == sorted(stamps)
+        assert stamps[-1] > stamps[0]
+
+
+class TestWholeMachineDeterminism:
+    def test_two_machines_same_flip_log(self):
+        def run(seed):
+            machine = Machine(MachineConfig.vulnerable(seed=seed))
+            kernel = machine.kernel
+            task = kernel.spawn("t", cpu=0)
+            va = kernel.sys_mmap(task.pid, 2 * 1024 * 1024)
+            pages = 512
+            from repro.attack.hammer import Hammerer
+
+            hammerer = Hammerer(kernel, task.pid)
+            hammerer.fill(va, pages, 0xFF)
+            stride = machine.mapping.row_stride()
+            hammerer.hammer_pair(va, va + 2 * stride)
+            return [
+                (e.phys_addr, e.bit_in_byte, e.direction_1_to_0)
+                for e in machine.controller.flip_log
+            ]
+
+        assert run(13) == run(13)

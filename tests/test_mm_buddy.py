@@ -1,0 +1,209 @@
+"""Buddy allocator: split/coalesce, conservation, error paths."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mm.buddy import MAX_ORDER, BuddyAllocator
+from repro.mm.page import FrameTable, PageFlags
+from repro.sim.errors import AllocationError, ConfigError, OutOfMemoryError
+
+ZONE_PAGES = 4096  # 16 MiB worth of frames
+
+
+def make_buddy(pages=ZONE_PAGES):
+    table = FrameTable(pages)
+    return BuddyAllocator(table, 0, pages)
+
+
+class TestSeeding:
+    def test_initial_free_pages(self):
+        buddy = make_buddy()
+        assert buddy.free_pages == ZONE_PAGES
+
+    def test_seeded_as_max_order_blocks(self):
+        buddy = make_buddy()
+        blocks = buddy.free_blocks_by_order()
+        assert blocks[MAX_ORDER] == ZONE_PAGES >> MAX_ORDER
+        assert all(blocks[order] == 0 for order in range(MAX_ORDER))
+
+    def test_unaligned_tail_seeded_smaller(self):
+        pages = (1 << MAX_ORDER) + 16
+        table = FrameTable(pages)
+        buddy = BuddyAllocator(table, 0, pages)
+        assert buddy.free_pages == pages
+        assert buddy.free_blocks_by_order()[4] == 1
+
+    def test_misaligned_start_rejected(self):
+        table = FrameTable(ZONE_PAGES)
+        with pytest.raises(ConfigError):
+            BuddyAllocator(table, 8, ZONE_PAGES)
+
+    def test_bad_range_rejected(self):
+        table = FrameTable(16)
+        with pytest.raises(ConfigError):
+            BuddyAllocator(table, 0, 32)
+
+
+class TestAlloc:
+    def test_order0(self):
+        buddy = make_buddy()
+        pfn = buddy.alloc(0)
+        assert buddy.frames[pfn].flags is PageFlags.ALLOCATED
+        assert buddy.free_pages == ZONE_PAGES - 1
+
+    def test_split_cascade(self):
+        buddy = make_buddy()
+        buddy.alloc(0)
+        # One max-order block split all the way down.
+        assert buddy.split_count == MAX_ORDER
+        blocks = buddy.free_blocks_by_order()
+        for order in range(MAX_ORDER):
+            assert blocks[order] == 1
+
+    def test_alignment(self):
+        buddy = make_buddy()
+        for order in (0, 3, 5, MAX_ORDER):
+            pfn = buddy.alloc(order)
+            assert pfn % (1 << order) == 0
+
+    def test_owner_recorded(self):
+        buddy = make_buddy()
+        pfn = buddy.alloc(2, owner_pid=77, stamp=5)
+        for offset in range(4):
+            assert buddy.frames[pfn + offset].owner_pid == 77
+            assert buddy.frames[pfn + offset].alloc_stamp == 5
+
+    def test_exhaustion(self):
+        buddy = make_buddy(1 << MAX_ORDER)
+        buddy.alloc(MAX_ORDER)
+        with pytest.raises(OutOfMemoryError):
+            buddy.alloc(0)
+
+    def test_order_out_of_range(self):
+        buddy = make_buddy()
+        with pytest.raises(AllocationError):
+            buddy.alloc(MAX_ORDER + 1)
+        with pytest.raises(AllocationError):
+            buddy.alloc(-1)
+
+    def test_lifo_reuse(self):
+        """A freed block is the first choice of the next same-order alloc."""
+        buddy = make_buddy()
+        pfn = buddy.alloc(0)
+        buddy.free(pfn, 0)
+        assert buddy.alloc(0) == pfn
+
+
+class TestFreeCoalesce:
+    def test_free_restores_count(self):
+        buddy = make_buddy()
+        pfn = buddy.alloc(3)
+        buddy.free(pfn, 3)
+        assert buddy.free_pages == ZONE_PAGES
+
+    def test_full_coalesce(self):
+        buddy = make_buddy()
+        pfn = buddy.alloc(0)
+        buddy.free(pfn, 0)
+        blocks = buddy.free_blocks_by_order()
+        assert blocks[MAX_ORDER] == ZONE_PAGES >> MAX_ORDER
+        assert buddy.merge_count == MAX_ORDER
+
+    def test_partial_coalesce_blocked_by_allocated_buddy(self):
+        buddy = make_buddy()
+        a = buddy.alloc(0)
+        b = buddy.alloc(0)
+        assert b == (a ^ 1)  # they are buddies
+        buddy.free(a, 0)
+        # b still allocated: a cannot merge upward.
+        assert buddy.free_blocks_by_order()[0] == 1
+        buddy.free(b, 0)
+        assert buddy.free_blocks_by_order()[0] == 0
+
+    def test_double_free_detected(self):
+        buddy = make_buddy()
+        pfn = buddy.alloc(0)
+        buddy.free(pfn, 0)
+        with pytest.raises(AllocationError):
+            buddy.free(pfn, 0)
+
+    def test_misaligned_free_rejected(self):
+        buddy = make_buddy()
+        with pytest.raises(AllocationError):
+            buddy.free(1, 1)
+
+    def test_foreign_pfn_rejected(self):
+        buddy = make_buddy()
+        with pytest.raises(AllocationError):
+            buddy.free(ZONE_PAGES, 0)
+
+
+class TestInspection:
+    def test_largest_free_order(self):
+        buddy = make_buddy()
+        assert buddy.largest_free_order() == MAX_ORDER
+
+    def test_largest_free_order_empty(self):
+        buddy = make_buddy(1 << MAX_ORDER)
+        buddy.alloc(MAX_ORDER)
+        assert buddy.largest_free_order() is None
+
+    def test_fragmentation_index(self):
+        buddy = make_buddy()
+        assert buddy.fragmentation_index() == 0.0
+        buddy.alloc(0)
+        assert buddy.fragmentation_index() > 0.0
+
+    def test_contains(self):
+        buddy = make_buddy()
+        assert buddy.contains(0)
+        assert not buddy.contains(ZONE_PAGES)
+
+    def test_is_block_free(self):
+        buddy = make_buddy()
+        pfn = buddy.alloc(2)
+        assert not buddy.is_block_free(pfn, 2)
+        buddy.free(pfn, 2)
+        # Coalesced upward, so it is free at max order at its aligned base.
+        assert buddy.free_pages == ZONE_PAGES
+
+
+class TestConservation:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=5), st.booleans()),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_free_pages_always_conserved(self, ops):
+        """Total pages = free + allocated, under any alloc/free sequence."""
+        buddy = make_buddy(2048)
+        live: list[tuple[int, int]] = []
+        for order, do_free in ops:
+            if do_free and live:
+                pfn, o = live.pop()
+                buddy.free(pfn, o)
+            else:
+                try:
+                    pfn = buddy.alloc(order)
+                except OutOfMemoryError:
+                    continue
+                live.append((pfn, order))
+        allocated = sum(1 << o for _, o in live)
+        assert buddy.free_pages + allocated == 2048
+        # Clean up completely and verify full coalescing.
+        for pfn, o in live:
+            buddy.free(pfn, o)
+        assert buddy.free_pages == 2048
+        assert buddy.free_blocks_by_order()[MAX_ORDER] == 2048 >> MAX_ORDER
+
+    @given(order=st.integers(min_value=0, max_value=MAX_ORDER))
+    @settings(max_examples=20, deadline=None)
+    def test_alloc_free_identity(self, order):
+        buddy = make_buddy(2048)
+        before = buddy.free_blocks_by_order()
+        pfn = buddy.alloc(order)
+        buddy.free(pfn, order)
+        assert buddy.free_blocks_by_order() == before

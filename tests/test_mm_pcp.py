@@ -1,0 +1,184 @@
+"""Per-CPU page frame cache: the attack's load-bearing mechanism."""
+
+import pytest
+
+from repro.mm.buddy import BuddyAllocator
+from repro.mm.page import FrameTable, PageFlags
+from repro.mm.pcp import PcpConfig, PerCpuPageCache
+from repro.sim.errors import AllocationError, ConfigError, OutOfMemoryError
+
+
+def make_pcp(pages=2048, config=None):
+    table = FrameTable(pages)
+    buddy = BuddyAllocator(table, 0, pages)
+    return PerCpuPageCache(buddy, config or PcpConfig()), buddy
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = PcpConfig()
+        assert config.batch <= config.high
+        assert config.discipline == "lifo"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PcpConfig(batch=0)
+        with pytest.raises(ConfigError):
+            PcpConfig(batch=10, high=5)
+        with pytest.raises(ConfigError):
+            PcpConfig(discipline="random")
+
+
+class TestRefill:
+    def test_empty_cache_refills_batch(self):
+        pcp, buddy = make_pcp()
+        pcp.alloc()
+        # One frame handed out, batch-1 remain cached.
+        assert pcp.count == pcp.config.batch - 1
+        assert pcp.refills == 1
+
+    def test_refill_marks_frames(self):
+        pcp, buddy = make_pcp()
+        pcp.alloc()
+        for pfn in pcp.snapshot():
+            assert buddy.frames[pfn].flags is PageFlags.ON_PCP
+
+    def test_alloc_marks_allocated(self):
+        pcp, buddy = make_pcp()
+        pfn = pcp.alloc(owner_pid=9)
+        assert buddy.frames[pfn].flags is PageFlags.ALLOCATED
+        assert buddy.frames[pfn].owner_pid == 9
+
+    def test_exhausted_buddy_raises(self):
+        pcp, buddy = make_pcp(pages=1024)
+        while True:
+            try:
+                buddy.alloc(0)
+            except OutOfMemoryError:
+                break
+        with pytest.raises(OutOfMemoryError):
+            pcp.alloc()
+
+    def test_partial_refill_served(self):
+        """If the buddy has fewer than batch pages, serve what exists."""
+        pcp, buddy = make_pcp(pages=1024, config=PcpConfig(batch=16, high=64))
+        # Leave exactly 3 free pages in the buddy.
+        while buddy.free_pages > 3:
+            buddy.alloc(0)
+        assert pcp.alloc() is not None
+        assert pcp.count == 2
+
+
+class TestLifoReuse:
+    def test_just_freed_frame_is_next_alloc(self):
+        """Paper section V: 'with a probability of almost 1'."""
+        pcp, _ = make_pcp()
+        pfn = pcp.alloc()
+        pcp.free(pfn)
+        assert pcp.alloc() == pfn
+
+    def test_stack_order(self):
+        pcp, _ = make_pcp()
+        a = pcp.alloc()
+        b = pcp.alloc()
+        pcp.free(a)
+        pcp.free(b)
+        assert pcp.alloc() == b
+        assert pcp.alloc() == a
+
+    def test_peek_hot(self):
+        pcp, _ = make_pcp()
+        pfn = pcp.alloc()
+        pcp.free(pfn)
+        assert pcp.peek_hot() == pfn
+
+    def test_peek_empty(self):
+        pcp, _ = make_pcp()
+        assert pcp.peek_hot() is None
+
+    def test_holds(self):
+        pcp, _ = make_pcp()
+        pfn = pcp.alloc()
+        assert not pcp.holds(pfn)
+        pcp.free(pfn)
+        assert pcp.holds(pfn)
+
+    def test_served_from_cache_counter(self):
+        pcp, _ = make_pcp()
+        pcp.alloc()  # refill, not "served from cache"
+        pcp.alloc()
+        assert pcp.served_from_cache == 1
+
+
+class TestFifoAblation:
+    def test_fifo_defeats_immediate_reuse(self):
+        pcp, _ = make_pcp(config=PcpConfig(batch=8, high=32, discipline="fifo"))
+        pfn = pcp.alloc()
+        pcp.free(pfn)
+        # FIFO: the freed frame goes to the back of the queue.
+        assert pcp.alloc() != pfn
+
+
+class TestSpill:
+    def test_spill_above_high(self):
+        config = PcpConfig(batch=4, high=8)
+        pcp, buddy = make_pcp(config=config)
+        frames = [buddy.alloc(0) for _ in range(12)]
+        for pfn in frames:
+            pcp.free(pfn)
+        assert pcp.count <= config.high
+        assert pcp.spills >= 1
+
+    def test_spill_removes_cold_end(self):
+        config = PcpConfig(batch=4, high=8)
+        pcp, buddy = make_pcp(config=config)
+        frames = [buddy.alloc(0) for _ in range(9)]
+        for pfn in frames:
+            pcp.free(pfn)
+        # The earliest (coldest) frees were spilled, the latest kept.
+        assert pcp.holds(frames[-1])
+        assert not pcp.holds(frames[0])
+
+    def test_spilled_frames_back_in_buddy(self):
+        config = PcpConfig(batch=4, high=8)
+        pcp, buddy = make_pcp(config=config)
+        before = buddy.free_pages
+        frames = [buddy.alloc(0) for _ in range(12)]
+        for pfn in frames:
+            pcp.free(pfn)
+        assert buddy.free_pages == before - 12 + (12 - pcp.count)
+
+
+class TestDrain:
+    def test_drain_empties_cache(self):
+        pcp, buddy = make_pcp()
+        pfn = pcp.alloc()
+        pcp.free(pfn)
+        before = buddy.free_pages
+        moved = pcp.drain()
+        assert pcp.count == 0
+        assert moved >= 1
+        assert buddy.free_pages == before + moved
+
+    def test_drain_empty_cache(self):
+        pcp, _ = make_pcp()
+        assert pcp.drain() == 0
+
+
+class TestFreeValidation:
+    def test_free_unallocated_rejected(self):
+        pcp, _ = make_pcp()
+        with pytest.raises(AllocationError):
+            pcp.free(0)  # still FREE_BUDDY
+
+    def test_free_foreign_pfn_rejected(self):
+        pcp, buddy = make_pcp(pages=1024)
+        pfn = buddy.alloc(0)
+        buddy.frames[pfn].mark(PageFlags.ALLOCATED)
+        other_table = FrameTable(2048)
+        other_buddy = BuddyAllocator(other_table, 0, 1024)
+        other_pcp = PerCpuPageCache(other_buddy)
+        foreign = other_table[2000]
+        foreign.mark(PageFlags.ALLOCATED)
+        with pytest.raises(AllocationError):
+            other_pcp.free(2000)

@@ -1,0 +1,138 @@
+"""Multi-node NUMA: node-local allocation policy and fallback."""
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.mm.allocator import AllocationRequest
+from repro.sim.errors import ConfigError, OutOfMemoryError
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def numa_machine():
+    """Two nodes, four CPUs: cpus 0-1 on node 0, cpus 2-3 on node 1."""
+    return Machine(
+        MachineConfig(
+            seed=0,
+            num_cpus=4,
+            num_nodes=2,
+            geometry=DRAMGeometry.small(),
+        )
+    )
+
+
+class TestConfig:
+    def test_cpus_must_divide_over_nodes(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_cpus=3, num_nodes=2)
+
+    def test_positive_nodes(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(num_nodes=0)
+
+
+class TestTopology:
+    def test_two_nodes_split_memory(self, numa_machine):
+        node0, node1 = numa_machine.nodes
+        assert node0.total_pages == node1.total_pages
+        assert node1.base_pfn == node0.total_pages
+
+    def test_node_ranges_disjoint(self, numa_machine):
+        node0, node1 = numa_machine.nodes
+        for zone0 in node0.zones.values():
+            for zone1 in node1.zones.values():
+                assert zone0.end_pfn <= zone1.start_pfn or zone1.end_pfn <= zone0.start_pfn
+
+    def test_cpu_to_node_map(self, numa_machine):
+        allocator = numa_machine.allocator
+        assert allocator.node_of_cpu(0) is numa_machine.nodes[0]
+        assert allocator.node_of_cpu(1) is numa_machine.nodes[0]
+        assert allocator.node_of_cpu(2) is numa_machine.nodes[1]
+        assert allocator.node_of_cpu(3) is numa_machine.nodes[1]
+
+    def test_node_of_pfn(self, numa_machine):
+        allocator = numa_machine.allocator
+        assert allocator.node_of_pfn(0) is numa_machine.nodes[0]
+        last = allocator.total_pages - 1
+        assert allocator.node_of_pfn(last) is numa_machine.nodes[1]
+
+    def test_single_node_machine_has_no_map(self, small_machine):
+        assert small_machine.allocator.cpu_to_node is None
+        assert len(small_machine.allocator.nodes) == 1
+
+
+class TestNodeLocalPolicy:
+    def test_allocations_are_node_local(self, numa_machine):
+        """Paper Section III: memory comes from the CPU's own node."""
+        kernel = numa_machine.kernel
+        near = kernel.spawn("near", cpu=0)
+        far = kernel.spawn("far", cpu=2)
+        for task, node in ((near, numa_machine.nodes[0]), (far, numa_machine.nodes[1])):
+            va = kernel.sys_mmap(task.pid, 8 * PAGE_SIZE)
+            for index in range(8):
+                kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")
+                pfn = kernel.pfn_of(task.pid, va + index * PAGE_SIZE)
+                assert numa_machine.allocator.node_of_pfn(pfn) is node
+
+    def test_remote_fallback_when_local_exhausted(self, numa_machine):
+        allocator = numa_machine.allocator
+        node1 = numa_machine.nodes[1]
+        # Exhaust node 1 directly.
+        for zone in node1.zones.values():
+            try:
+                while True:
+                    zone.buddy.alloc(10)
+            except OutOfMemoryError:
+                pass
+        pfn = allocator.alloc_pages(AllocationRequest(order=3, cpu=2))
+        assert allocator.node_of_pfn(pfn) is numa_machine.nodes[0]
+        assert allocator.remote_node_allocs >= 1
+
+    def test_free_returns_to_owning_zone(self, numa_machine):
+        allocator = numa_machine.allocator
+        pfn = allocator.alloc_pages(AllocationRequest(order=0, cpu=2, use_pcp=False))
+        allocator.free_pages(pfn, 0, cpu=2, use_pcp=False)
+        zone = allocator.zone_of_pfn(pfn)
+        assert zone.contains(pfn)
+        assert numa_machine.allocator.node_of_pfn(pfn) is numa_machine.nodes[1]
+
+
+class TestSteeringAcrossNodes:
+    def test_same_cpu_steering_still_works(self, numa_machine):
+        """The pcp channel is unchanged on a NUMA machine (same CPU)."""
+        kernel = numa_machine.kernel
+        attacker = kernel.spawn("attacker", cpu=2)
+        victim = kernel.spawn("victim", cpu=2)
+        va = kernel.sys_mmap(attacker.pid, PAGE_SIZE)
+        kernel.mem_write(attacker.pid, va, b"x")
+        staged = kernel.pfn_of(attacker.pid, va)
+        kernel.sys_munmap(attacker.pid, va, PAGE_SIZE)
+        victim_va = kernel.sys_mmap(victim.pid, PAGE_SIZE)
+        kernel.mem_write(victim.pid, victim_va, b"y")
+        assert kernel.pfn_of(victim.pid, victim_va) == staged
+
+    def test_cross_node_victim_misses(self, numa_machine):
+        """A victim on the other node allocates node-locally elsewhere."""
+        kernel = numa_machine.kernel
+        attacker = kernel.spawn("attacker", cpu=0)
+        victim = kernel.spawn("victim", cpu=2)
+        va = kernel.sys_mmap(attacker.pid, PAGE_SIZE)
+        kernel.mem_write(attacker.pid, va, b"x")
+        staged = kernel.pfn_of(attacker.pid, va)
+        kernel.sys_munmap(attacker.pid, va, PAGE_SIZE)
+        victim_va = kernel.sys_mmap(victim.pid, PAGE_SIZE)
+        kernel.mem_write(victim.pid, victim_va, b"y")
+        got = kernel.pfn_of(victim.pid, victim_va)
+        assert got != staged
+        assert numa_machine.allocator.node_of_pfn(got) is numa_machine.nodes[1]
+
+
+class TestProcfsPerNode:
+    def test_buddyinfo_for_each_node(self, numa_machine):
+        from repro.os import procfs
+
+        text0 = procfs.buddyinfo(numa_machine.nodes[0])
+        text1 = procfs.buddyinfo(numa_machine.nodes[1])
+        assert text0.startswith("Node 0")
+        assert text1.startswith("Node 1")

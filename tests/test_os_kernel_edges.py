@@ -1,0 +1,128 @@
+"""Kernel edge cases: protections, exits, ledger accounting, OOM paths."""
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.mm.zone import ZoneType
+from repro.sim.errors import ConfigError, OutOfMemoryError, SegmentationFault
+from repro.sim.units import PAGE_SIZE
+from repro.vm.vma import Protection
+
+
+@pytest.fixture
+def kernel(small_machine):
+    return small_machine.kernel
+
+
+class TestProtections:
+    def test_write_to_readonly_mapping_segfaults(self, kernel):
+        task = kernel.spawn("ro", cpu=0)
+        va = kernel.sys_mmap(task.pid, PAGE_SIZE, prot=Protection.READ)
+        with pytest.raises(SegmentationFault):
+            kernel.mem_write(task.pid, va, b"x")
+
+    def test_readonly_mapping_readable(self, kernel):
+        task = kernel.spawn("ro", cpu=0)
+        va = kernel.sys_mmap(task.pid, PAGE_SIZE, prot=Protection.READ)
+        assert kernel.mem_read(task.pid, va, 8) == bytes(8)
+
+
+class TestExitPaths:
+    def test_exit_sleeping_task(self, kernel):
+        task = kernel.spawn("sleepy", cpu=0)
+        va = kernel.sys_mmap(task.pid, PAGE_SIZE)
+        kernel.mem_write(task.pid, va, b"x")
+        kernel.sys_sleep(task.pid)
+        kernel.sys_wake(task.pid)
+        freed = kernel.sys_exit(task.pid)
+        assert freed == 1
+
+    def test_exit_with_no_memory(self, kernel):
+        task = kernel.spawn("empty", cpu=0)
+        assert kernel.sys_exit(task.pid) == 0
+
+    def test_operations_on_exited_task_rejected(self, kernel):
+        task = kernel.spawn("gone", cpu=0)
+        kernel.sys_exit(task.pid)
+        with pytest.raises(ConfigError):
+            kernel.sys_mmap(task.pid, PAGE_SIZE)
+
+
+class TestLedgerAccounting:
+    def test_memory_traffic_is_attributed(self, kernel):
+        task = kernel.spawn("worker", cpu=0)
+        va = kernel.sys_mmap(task.pid, 32 * PAGE_SIZE)
+        for index in range(32):
+            kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x" * 256)
+        assert kernel.ledger.totals().get(task.pid, 0) > 0
+
+    def test_hammer_dominates_the_ledger(self, small_machine):
+        from repro.attack.hammer import Hammerer
+
+        kernel = small_machine.kernel
+        normal = kernel.spawn("normal", cpu=1)
+        kernel.churn(normal.pid, 64)
+        attacker = kernel.spawn("attacker", cpu=0)
+        hammerer = Hammerer(kernel, attacker.pid, rounds=200_000)
+        va = hammerer.map_buffer(1024 * 1024)
+        hammerer.fill(va, 256, 0xFF)
+        pair = hammerer.build_bank_group(va, 1024 * 1024, 2)
+        hammerer.hammer_group(pair)
+        totals = kernel.ledger.totals()
+        assert totals[attacker.pid] > 100 * totals[normal.pid]
+
+    def test_cache_hits_not_accounted(self, kernel):
+        task = kernel.spawn("hot", cpu=0)
+        va = kernel.sys_mmap(task.pid, PAGE_SIZE)
+        kernel.mem_write(task.pid, va, b"x" * 64)
+        before = kernel.ledger.totals().get(task.pid, 0)
+        for _ in range(50):
+            kernel.mem_read(task.pid, va, 64)  # all cache hits
+        after = kernel.ledger.totals().get(task.pid, 0)
+        assert after == before
+
+
+class TestPreferredZone:
+    def test_dma32_preference_respected(self, small_machine):
+        from repro.mm.allocator import AllocationRequest
+
+        allocator = small_machine.allocator
+        pfn = allocator.alloc_pages(
+            AllocationRequest(order=0, cpu=0, preferred_zone=ZoneType.DMA32)
+        )
+        zone = allocator.zone_of_pfn(pfn)
+        assert zone.zone_type in (ZoneType.DMA32, ZoneType.DMA)
+
+    def test_dma_preference_never_spills_up(self, small_machine):
+        from repro.mm.allocator import AllocationRequest
+
+        allocator = small_machine.allocator
+        pfn = allocator.alloc_pages(
+            AllocationRequest(order=0, cpu=0, preferred_zone=ZoneType.DMA)
+        )
+        assert allocator.zone_of_pfn(pfn).zone_type is ZoneType.DMA
+
+
+class TestDirectReclaim:
+    def test_fault_survives_transient_oom_via_reclaim(self):
+        """Anonymous faults trigger direct reclaim instead of dying."""
+        machine = Machine(MachineConfig(seed=1, geometry=DRAMGeometry.small()))
+        kernel = machine.kernel
+        task = kernel.spawn("hungry", cpu=0)
+        kernel.page_cache.fill_fraction(0.95)
+        va = kernel.sys_mmap(task.pid, 512 * PAGE_SIZE)
+        for index in range(512):
+            kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")
+        assert task.mm.rss_pages == 512
+
+    def test_true_oom_still_raises(self):
+        """When nothing is reclaimable, exhaustion surfaces as OOM."""
+        machine = Machine(MachineConfig(seed=1, geometry=DRAMGeometry.small()))
+        kernel = machine.kernel
+        task = kernel.spawn("bloat", cpu=0)
+        total = machine.allocator.total_pages
+        va = kernel.sys_mmap(task.pid, (total + 64) * PAGE_SIZE)
+        with pytest.raises(OutOfMemoryError):
+            for index in range(total + 64):
+                kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")

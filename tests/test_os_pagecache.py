@@ -1,0 +1,89 @@
+"""Page cache: content determinism, reclaim integration, pressure."""
+
+import pytest
+
+from repro.os.pagecache import file_page_content
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def kernel(small_machine):
+    return small_machine.kernel
+
+
+@pytest.fixture
+def reader(kernel):
+    return kernel.spawn("reader", cpu=0)
+
+
+class TestContent:
+    def test_deterministic(self):
+        assert file_page_content(3, 9) == file_page_content(3, 9)
+        assert len(file_page_content(3, 9)) == PAGE_SIZE
+
+    def test_distinct_pages_distinct_content(self):
+        assert file_page_content(3, 9) != file_page_content(3, 10)
+        assert file_page_content(3, 9) != file_page_content(4, 9)
+
+
+class TestReads:
+    def test_read_matches_content(self, kernel, reader):
+        data = kernel.sys_file_read(reader.pid, 5, 100, 200)
+        assert data == file_page_content(5, 0)[100:300]
+
+    def test_cross_page_read(self, kernel, reader):
+        data = kernel.sys_file_read(reader.pid, 5, PAGE_SIZE - 16, 32)
+        expected = file_page_content(5, 0)[-16:] + file_page_content(5, 1)[:16]
+        assert data == expected
+
+    def test_second_read_hits_cache(self, kernel, reader):
+        kernel.sys_file_read(reader.pid, 5, 0, 16)
+        misses_before = kernel.page_cache.misses
+        kernel.sys_file_read(reader.pid, 5, 8, 16)
+        assert kernel.page_cache.misses == misses_before
+        assert kernel.page_cache.hits >= 1
+
+    def test_pages_are_reclaimable(self, small_machine, reader):
+        kernel = small_machine.kernel
+        kernel.sys_file_read(reader.pid, 5, 0, 1)
+        zone_pages = sum(
+            small_machine.kswapd.reclaimable_pages(zone)
+            for zone in small_machine.node.zones.values()
+        )
+        assert zone_pages >= 1
+
+    def test_negative_offset_rejected(self, kernel, reader):
+        with pytest.raises(ConfigError):
+            kernel.sys_file_read(reader.pid, 5, -1, 4)
+
+
+class TestPressure:
+    def test_fill_fraction(self, small_machine, reader):
+        kernel = small_machine.kernel
+        filled = kernel.page_cache.fill_fraction(0.3)
+        assert filled > 0
+        assert kernel.page_cache.cached_pages >= filled
+
+    def test_anonymous_pressure_triggers_reclaim(self, small_machine, reader):
+        kernel = small_machine.kernel
+        kernel.page_cache.fill_fraction(0.8)
+        va = kernel.sys_mmap(reader.pid, 1024 * PAGE_SIZE)
+        for index in range(1024):
+            kernel.mem_write(reader.pid, va + index * PAGE_SIZE, b"x")
+        assert reader.mm.rss_pages == 1024
+        assert kernel.page_cache.reclaimed > 0
+        assert small_machine.kswapd.reclaimed_pages > 0
+
+    def test_reread_after_reclaim_is_consistent(self, small_machine, reader):
+        kernel = small_machine.kernel
+        kernel.page_cache.fill_fraction(0.8)
+        va = kernel.sys_mmap(reader.pid, 1024 * PAGE_SIZE)
+        for index in range(1024):
+            kernel.mem_write(reader.pid, va + index * PAGE_SIZE, b"x")
+        data = kernel.sys_file_read(reader.pid, 1, 0, 64)
+        assert data == file_page_content(1, 0)[:64]
+
+    def test_fill_fraction_validated(self, kernel):
+        with pytest.raises(ConfigError):
+            kernel.page_cache.fill_fraction(1.5)

@@ -1,0 +1,101 @@
+"""/proc-style views over live machine state."""
+
+import pytest
+
+from repro.os import procfs
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def machine_with_task(small_machine):
+    kernel = small_machine.kernel
+    task = kernel.spawn("worker", cpu=0)
+    va = kernel.sys_mmap(task.pid, 4 * PAGE_SIZE, name="heap")
+    kernel.mem_write(task.pid, va, b"data")
+    return small_machine, task, va
+
+
+class TestBuddyinfo:
+    def test_one_line_per_zone(self, small_machine):
+        text = procfs.buddyinfo(small_machine.node)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert any("Normal" in line for line in lines)
+        assert all(line.startswith("Node 0, zone") for line in lines)
+
+    def test_counts_reflect_allocations(self, small_machine):
+        before = procfs.buddyinfo(small_machine.node)
+        zone = small_machine.node.zones[list(small_machine.node.zones)[-1]]
+        zone.buddy.alloc(0)
+        after = procfs.buddyinfo(small_machine.node)
+        assert before != after
+
+
+class TestZoneinfo:
+    def test_contains_watermarks(self, small_machine):
+        text = procfs.zoneinfo(small_machine.node)
+        for token in ("pages free", "min", "low", "high", "spanned"):
+            assert token in text
+
+    def test_pcp_sections_per_cpu(self, small_machine):
+        text = procfs.zoneinfo(small_machine.node)
+        assert text.count("cpu: 0") == 3  # one per zone
+        assert text.count("cpu: 1") == 3
+
+    def test_pcp_count_updates(self, machine_with_task):
+        machine, task, va = machine_with_task
+        machine.kernel.sys_munmap(task.pid, va, PAGE_SIZE)
+        text = procfs.zoneinfo(machine.node)
+        assert "count: " in text
+
+
+class TestMeminfo:
+    def test_totals(self, small_machine):
+        text = procfs.meminfo(small_machine.node)
+        total_kb = small_machine.node.total_pages * 4
+        assert f"MemTotal:       {total_kb:10d} kB" in text
+
+    def test_free_shrinks(self, machine_with_task):
+        machine, _, _ = machine_with_task
+        text = procfs.meminfo(machine.node)
+        free_line = [l for l in text.splitlines() if l.startswith("MemFree")][0]
+        free_kb = int(free_line.split()[1])
+        assert free_kb < machine.node.total_pages * 4
+
+
+class TestMaps:
+    def test_lists_vmas(self, machine_with_task):
+        _, task, va = machine_with_task
+        text = procfs.maps(task)
+        assert f"{va:012x}" in text
+        assert "[heap]" in text
+        assert "rwxp" not in text  # anon rw mapping is rw-p
+
+    def test_protection_bits(self, small_machine):
+        from repro.vm.vma import Protection
+
+        kernel = small_machine.kernel
+        task = kernel.spawn("ro", cpu=0)
+        kernel.sys_mmap(task.pid, PAGE_SIZE, prot=Protection.READ, name="rodata")
+        assert "r--p" in procfs.maps(task)
+
+    def test_empty_address_space(self, small_machine):
+        task = small_machine.kernel.spawn("empty", cpu=0)
+        assert procfs.maps(task) == ""
+
+
+class TestStatus:
+    def test_memory_lines(self, machine_with_task):
+        _, task, _ = machine_with_task
+        text = procfs.status_memory(task)
+        assert f"Pid:    {task.pid}" in text
+        assert "VmSize:         16 kB" in text
+        assert "VmRSS:           4 kB" in text
+
+
+class TestPagetypeinfo:
+    def test_renders_all_orders(self, small_machine):
+        text = procfs.pagetypeinfo(small_machine.node)
+        lines = text.splitlines()
+        assert len(lines) == 5  # title + header + 3 zones
+        assert "Normal" in text

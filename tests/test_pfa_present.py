@@ -1,0 +1,160 @@
+"""PRESENT-80 persistent fault analysis."""
+
+import random
+
+import pytest
+
+from repro.ciphers.present import PRESENT_SBOX, Present, inv_p_layer, p_layer
+from repro.pfa.pfa_present import (
+    PresentPfaState,
+    ciphertexts_to_unique_k32,
+    invert_present80_schedule,
+    recover_k32_known_fault,
+    recover_present80_key,
+)
+from repro.sim.errors import FaultError
+
+KEY = bytes(range(10))
+FAULT_INDEX = 5
+V_STAR = PRESENT_SBOX[FAULT_INDEX]
+
+
+def faulty_present(key=KEY):
+    table = bytearray(PRESENT_SBOX)
+    table[FAULT_INDEX] ^= 0b0010
+    return Present(key, sbox_provider=lambda: bytes(table))
+
+
+def random_plaintexts(count, seed=0):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(8)) for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def saturated():
+    cipher = faulty_present()
+    pts = random_plaintexts(800)
+    consumed, state = ciphertexts_to_unique_k32(cipher.encrypt_block, lambda i: pts[i])
+    return consumed, state
+
+
+class TestPermutation:
+    def test_p_layer_bijective(self):
+        state = 0x0123_4567_89AB_CDEF
+        assert inv_p_layer(p_layer(state)) == state
+
+    def test_p_layer_known_bit(self):
+        # Bit 1 moves to position 16 (P(i) = 16i mod 63).
+        assert p_layer(1 << 1) == 1 << 16
+
+    def test_bit_63_fixed(self):
+        assert p_layer(1 << 63) == 1 << 63
+
+
+class TestState:
+    def test_counts_and_total(self):
+        state = PresentPfaState()
+        state.update([bytes(8)])
+        assert state.total == 1
+        assert state.counts.sum() == 16
+
+    def test_bad_block_size(self):
+        with pytest.raises(FaultError):
+            PresentPfaState().update([bytes(4)])
+
+    def test_position_bounds(self):
+        with pytest.raises(FaultError):
+            PresentPfaState().missing_values(16)
+
+    def test_keyspace_full_when_empty(self):
+        assert PresentPfaState().log2_keyspace() == 64.0
+
+    def test_saturates_quickly(self, saturated):
+        consumed, state = saturated
+        # 16 values per nibble: coupon collector needs only dozens.
+        assert consumed < 500
+        assert state.is_unique()
+        assert state.log2_keyspace() == 0.0
+
+    def test_missing_value_is_structural(self, saturated):
+        _, state = saturated
+        k32 = Present(KEY).round_keys[31]
+        k_prime = inv_p_layer(k32)
+        for position in range(16):
+            expected_missing = V_STAR ^ ((k_prime >> (4 * position)) & 0xF)
+            assert state.missing_values(position) == [expected_missing]
+
+
+class TestRecovery:
+    def test_k32_recovered(self, saturated):
+        _, state = saturated
+        assert recover_k32_known_fault(state, V_STAR) == Present(KEY).round_keys[31]
+
+    def test_k32_requires_saturation(self):
+        with pytest.raises(FaultError):
+            recover_k32_known_fault(PresentPfaState(), V_STAR)
+
+    def test_v_star_range(self, saturated):
+        _, state = saturated
+        with pytest.raises(FaultError):
+            recover_k32_known_fault(state, 16)
+
+    def test_unfaulted_cipher_never_saturates(self):
+        clean = Present(KEY)
+        pts = random_plaintexts(600, seed=1)
+        with pytest.raises(FaultError):
+            ciphertexts_to_unique_k32(clean.encrypt_block, lambda i: pts[i], limit=600)
+
+
+class TestScheduleInversion:
+    def _register_after_31(self, key):
+        register = int.from_bytes(key, "big")
+        for round_index in range(1, 32):
+            register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+            top = PRESENT_SBOX[register >> 76]
+            register = (top << 76) | (register & ((1 << 76) - 1))
+            register ^= round_index << 15
+        return register
+
+    @pytest.mark.parametrize("key", [bytes(10), KEY, bytes([0xFF] * 10)])
+    def test_round_trip(self, key):
+        register = self._register_after_31(key)
+        assert register >> 16 == Present(key).round_keys[31]
+        assert invert_present80_schedule(register) == key
+
+    def test_range_validated(self):
+        with pytest.raises(FaultError):
+            invert_present80_schedule(1 << 80)
+
+
+class TestMasterKeyRecovery:
+    def test_full_key_with_narrowed_search(self, saturated):
+        """Full pipeline; the low-16 search is narrowed for test speed."""
+        _, state = saturated
+        pt = bytes(8)
+        ct = Present(KEY).encrypt_block(pt)
+        true_low = int.from_bytes(KEY, "big") & 0xFFFF
+        register = self._true_register_low16()
+        window = range(max(0, register - 32), register + 32)
+        key = recover_present80_key(state, V_STAR, pt, ct, low_bits_candidates=window)
+        assert key == KEY
+
+    def _true_register_low16(self):
+        register = int.from_bytes(KEY, "big")
+        for round_index in range(1, 32):
+            register = ((register << 61) | (register >> 19)) & ((1 << 80) - 1)
+            top = PRESENT_SBOX[register >> 76]
+            register = (top << 76) | (register & ((1 << 76) - 1))
+            register ^= round_index << 15
+        return register & 0xFFFF
+
+    def test_wrong_window_returns_none(self, saturated):
+        _, state = saturated
+        pt = bytes(8)
+        ct = Present(KEY).encrypt_block(pt)
+        true_low = self._true_register_low16()
+        window = range((true_low + 100) & 0xFFFF, (true_low + 110) & 0xFFFF)
+        assert (
+            recover_present80_key(state, V_STAR, pt, ct, low_bits_candidates=window)
+            is None
+        )

@@ -1,0 +1,128 @@
+"""Additional property-based tests over core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ciphers.present import Present, inv_p_layer, p_layer
+from repro.defense.watchdog import ActivationLedger
+from repro.dram.cache import CpuCache, CpuCacheConfig
+from repro.mm.zone import ZoneWatermarks
+from repro.pfa.pfa import expected_remaining_candidates
+from repro.sim.units import page_align_down, page_align_up
+
+
+class TestPresentProperties:
+    @given(state=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=100)
+    def test_p_layer_bijective(self, state):
+        assert inv_p_layer(p_layer(state)) == state
+
+    @given(state=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=50)
+    def test_p_layer_preserves_popcount(self, state):
+        assert bin(p_layer(state)).count("1") == bin(state).count("1")
+
+    @given(
+        key=st.binary(min_size=10, max_size=10),
+        pt=st.binary(min_size=8, max_size=8),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_present_round_trip_property(self, key, pt):
+        cipher = Present(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(pt)) == pt
+
+
+class TestCacheProperties:
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200))
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = CpuCache(CpuCacheConfig(line_size=64, sets=8, ways=2))
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.occupancy() <= 16
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=100))
+    @settings(max_examples=50)
+    def test_flush_then_access_always_misses(self, addrs):
+        cache = CpuCache(CpuCacheConfig(line_size=64, sets=8, ways=2))
+        for addr in addrs:
+            cache.access(addr)
+            cache.flush(addr)
+            assert cache.access(addr) is False
+            cache.flush(addr)
+
+
+class TestWatermarkProperties:
+    @given(pages=st.integers(min_value=64, max_value=1 << 22))
+    @settings(max_examples=100)
+    def test_ordering_holds_at_every_size(self, pages):
+        wm = ZoneWatermarks.for_zone_size(pages)
+        assert 0 < wm.min_pages <= wm.low_pages <= wm.high_pages
+        assert wm.min_pages <= max(pages // 8, 1)
+
+
+class TestPfaExpectationProperties:
+    @given(n=st.integers(min_value=0, max_value=50_000))
+    @settings(max_examples=100)
+    def test_bounded(self, n):
+        value = expected_remaining_candidates(n)
+        assert 1.0 <= value <= 256.0
+
+    @given(n=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50)
+    def test_monotone_nonincreasing(self, n):
+        assert expected_remaining_candidates(n + 1) <= expected_remaining_candidates(n)
+
+
+class TestLedgerProperties:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),  # epoch
+                st.integers(min_value=1, max_value=5),  # pid
+                st.integers(min_value=0, max_value=1000),  # activations
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50)
+    def test_totals_match_event_sum(self, events):
+        ledger = ActivationLedger()
+        expected: dict[int, int] = {}
+        for epoch, pid, activations in events:
+            ledger.record(epoch, pid, activations)
+            if activations > 0:
+                expected[pid] = expected.get(pid, 0) + activations
+        assert ledger.totals() == expected
+
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=500),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50)
+    def test_max_per_window_is_a_max(self, events):
+        ledger = ActivationLedger()
+        per_epoch: dict[int, int] = {}
+        for epoch, activations in events:
+            ledger.record(epoch, 7, activations)
+            if activations > 0:
+                per_epoch[epoch] = per_epoch.get(epoch, 0) + activations
+        assert ledger.max_per_window(7) == max(per_epoch.values(), default=0)
+
+
+class TestAlignmentProperties:
+    @given(addr=st.integers(min_value=0, max_value=1 << 48))
+    @settings(max_examples=100)
+    def test_align_idempotent(self, addr):
+        assert page_align_down(page_align_down(addr)) == page_align_down(addr)
+        assert page_align_up(page_align_up(addr)) == page_align_up(addr)
+
+    @given(addr=st.integers(min_value=0, max_value=1 << 48))
+    @settings(max_examples=100)
+    def test_bounds(self, addr):
+        assert page_align_up(addr) - page_align_down(addr) in (0, 4096)

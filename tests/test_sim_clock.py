@@ -1,0 +1,49 @@
+"""Simulated clock semantics."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0
+
+    def test_custom_start(self):
+        assert SimClock(start_ns=100).now_ns == 100
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start_ns=-1)
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now_ns == 15
+
+    def test_advance_returns_new_time(self):
+        assert SimClock().advance(7) == 7
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(start_ns=3)
+        clock.advance(0)
+        assert clock.now_ns == 3
+
+    def test_backwards_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(50)
+        assert clock.now_ns == 50
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(start_ns=100)
+        clock.advance_to(50)
+        assert clock.now_ns == 100
+
+    def test_repr(self):
+        assert "42" in repr(SimClock(start_ns=42))

@@ -1,0 +1,90 @@
+"""Units, alignment helpers and formatting."""
+
+import pytest
+
+from repro.sim import units
+
+
+class TestConstants:
+    def test_page_size_is_4k(self):
+        assert units.PAGE_SIZE == 4096
+        assert 1 << units.PAGE_SHIFT == units.PAGE_SIZE
+
+    def test_binary_prefixes(self):
+        assert units.MIB == 1024 * units.KIB
+        assert units.GIB == 1024 * units.MIB
+
+    def test_time_units(self):
+        assert units.US == 1000
+        assert units.MS == 1_000_000
+
+
+class TestFormatBytes:
+    def test_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+
+    def test_kib(self):
+        assert units.format_bytes(4096) == "4.0 KiB"
+
+    def test_mib(self):
+        assert units.format_bytes(3 * units.MIB // 2) == "1.5 MiB"
+
+    def test_gib(self):
+        assert units.format_bytes(2 * units.GIB) == "2.0 GiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+
+class TestFormatTime:
+    def test_ns(self):
+        assert units.format_time_ns(47) == "47 ns"
+
+    def test_us(self):
+        assert units.format_time_ns(1500) == "1.5 us"
+
+    def test_ms(self):
+        assert units.format_time_ns(64 * units.MS) == "64.0 ms"
+
+    def test_seconds(self):
+        assert units.format_time_ns(2_500_000_000) == "2.500 s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_time_ns(-5)
+
+
+class TestAlignment:
+    def test_pages_for_bytes_rounds_up(self):
+        assert units.pages_for_bytes(1) == 1
+        assert units.pages_for_bytes(4096) == 1
+        assert units.pages_for_bytes(4097) == 2
+        assert units.pages_for_bytes(0) == 0
+
+    def test_pages_for_bytes_negative(self):
+        with pytest.raises(ValueError):
+            units.pages_for_bytes(-1)
+
+    def test_is_page_aligned(self):
+        assert units.is_page_aligned(0)
+        assert units.is_page_aligned(8192)
+        assert not units.is_page_aligned(8193)
+
+    def test_align_down(self):
+        assert units.page_align_down(4097) == 4096
+        assert units.page_align_down(4096) == 4096
+        assert units.page_align_down(100) == 0
+
+    def test_align_up(self):
+        assert units.page_align_up(4097) == 8192
+        assert units.page_align_up(4096) == 4096
+        assert units.page_align_up(0) == 0
+
+    def test_round_trip(self):
+        for addr in (0, 1, 4095, 4096, 123456):
+            down = units.page_align_down(addr)
+            up = units.page_align_up(addr)
+            assert down <= addr <= up
+            assert units.is_page_aligned(down)
+            assert units.is_page_aligned(up)

@@ -1,0 +1,109 @@
+"""VMA intervals: validation, splitting, protection."""
+
+import pytest
+
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE
+from repro.vm.vma import Protection, VMA, VmaFlags
+
+BASE = 0x1000_0000
+
+
+def make_vma(pages=4, start=BASE):
+    return VMA(start=start, end=start + pages * PAGE_SIZE)
+
+
+class TestValidation:
+    def test_unaligned_rejected(self):
+        with pytest.raises(ConfigError):
+            VMA(start=BASE + 1, end=BASE + PAGE_SIZE)
+        with pytest.raises(ConfigError):
+            VMA(start=BASE, end=BASE + PAGE_SIZE + 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            VMA(start=BASE, end=BASE)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ConfigError):
+            VMA(start=BASE + PAGE_SIZE, end=BASE)
+
+
+class TestGeometry:
+    def test_length_and_pages(self):
+        vma = make_vma(4)
+        assert vma.length == 4 * PAGE_SIZE
+        assert vma.pages == 4
+
+    def test_contains(self):
+        vma = make_vma(2)
+        assert vma.contains(BASE)
+        assert vma.contains(BASE + 2 * PAGE_SIZE - 1)
+        assert not vma.contains(BASE + 2 * PAGE_SIZE)
+        assert not vma.contains(BASE - 1)
+
+    def test_overlaps(self):
+        vma = make_vma(2)
+        assert vma.overlaps(BASE + PAGE_SIZE, BASE + 3 * PAGE_SIZE)
+        assert not vma.overlaps(BASE + 2 * PAGE_SIZE, BASE + 3 * PAGE_SIZE)
+
+    def test_page_addresses(self):
+        vma = make_vma(3)
+        assert list(vma.page_addresses()) == [
+            BASE,
+            BASE + PAGE_SIZE,
+            BASE + 2 * PAGE_SIZE,
+        ]
+
+
+class TestSplit:
+    def test_cut_middle_leaves_two(self):
+        vma = make_vma(4)
+        parts = vma.split(BASE + PAGE_SIZE, BASE + 2 * PAGE_SIZE)
+        assert [(p.start, p.end) for p in parts] == [
+            (BASE, BASE + PAGE_SIZE),
+            (BASE + 2 * PAGE_SIZE, BASE + 4 * PAGE_SIZE),
+        ]
+
+    def test_cut_head(self):
+        vma = make_vma(4)
+        (tail,) = vma.split(BASE, BASE + PAGE_SIZE)
+        assert (tail.start, tail.end) == (BASE + PAGE_SIZE, BASE + 4 * PAGE_SIZE)
+
+    def test_cut_everything(self):
+        vma = make_vma(4)
+        assert vma.split(BASE, BASE + 4 * PAGE_SIZE) == []
+
+    def test_cut_outside_returns_self(self):
+        vma = make_vma(2)
+        assert vma.split(BASE + 4 * PAGE_SIZE, BASE + 5 * PAGE_SIZE) == [vma]
+
+    def test_split_preserves_attributes(self):
+        vma = VMA(
+            start=BASE,
+            end=BASE + 4 * PAGE_SIZE,
+            prot=Protection.READ,
+            flags=VmaFlags.ANONYMOUS | VmaFlags.POPULATE,
+            name="special",
+        )
+        for part in vma.split(BASE + PAGE_SIZE, BASE + 2 * PAGE_SIZE):
+            assert part.prot == Protection.READ
+            assert part.flags == vma.flags
+            assert part.name == "special"
+
+    def test_unaligned_cut_rejected(self):
+        with pytest.raises(ConfigError):
+            make_vma(2).split(BASE + 1, BASE + PAGE_SIZE)
+
+
+class TestProtection:
+    def test_rw_shorthand(self):
+        prot = Protection.rw()
+        assert prot & Protection.READ
+        assert prot & Protection.WRITE
+        assert not prot & Protection.EXEC
+
+    def test_str_rendering(self):
+        vma = VMA(start=BASE, end=BASE + PAGE_SIZE, prot=Protection.READ, name="lib")
+        text = str(vma)
+        assert "r--" in text and "lib" in text
