@@ -11,6 +11,12 @@ from repro.analysis.stats import (
     mean_and_ci,
     summarize_rates,
 )
+from repro.analysis.survival import (
+    failure_breakdown,
+    survival_rate,
+    survival_summary,
+    survival_table,
+)
 from repro.analysis.sweep import Sweep, SweepPoint
 from repro.analysis.tabulate import format_table, write_results
 
@@ -19,9 +25,13 @@ __all__ = [
     "SweepPoint",
     "ascii_chart",
     "binomial_ci",
+    "failure_breakdown",
     "sparkline",
     "format_table",
     "mean_and_ci",
     "summarize_rates",
+    "survival_rate",
+    "survival_summary",
+    "survival_table",
     "write_results",
 ]

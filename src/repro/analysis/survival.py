@@ -1,0 +1,101 @@
+"""Turn :class:`AttackRunReport` batches into success-vs-adversity tables.
+
+The orchestrator's reports carry everything needed to answer the
+robustness questions the chaos experiments ask: how often does the
+attack survive a given adversity profile, what kills the runs that die,
+and how many extra attempts does survival cost?  These helpers reduce a
+batch of reports (typically one per seed) to those aggregates, and
+render them with the shared table formatter so benchmark output stays
+consistent.
+
+Reports are duck-typed: anything with ``success``, ``failure_classes``,
+``attempts``, ``candidates_tried``, ``recoveries`` and a ``budget`` that
+has ``sim_time_ns`` works, so tests can feed lightweight stand-ins.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.tabulate import format_table
+
+
+def survival_rate(reports: list) -> float:
+    """Fraction of runs that recovered the key (0.0 for an empty batch)."""
+    if not reports:
+        return 0.0
+    return sum(1 for report in reports if report.success) / len(reports)
+
+
+def failure_breakdown(reports: list) -> dict[str, int]:
+    """How many runs saw each failure class, sorted by frequency then name.
+
+    A run counts once per *distinct* class it hit — the question is "what
+    kinds of adversity did this run face", not "how many retries did it
+    burn".
+    """
+    counts: Counter[str] = Counter()
+    for report in reports:
+        for failure_class in report.failure_classes:
+            counts[failure_class] += 1
+    return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+
+def attempts_to_success(reports: list) -> list[int]:
+    """Stage attempts each *successful* run needed, in input order."""
+    return [report.attempts for report in reports if report.success]
+
+
+def mean_attempts(reports: list) -> float | None:
+    """Mean stage attempts across successful runs (None if none succeeded)."""
+    attempts = attempts_to_success(reports)
+    if not attempts:
+        return None
+    return sum(attempts) / len(attempts)
+
+
+def survival_summary(profile: str, reports: list) -> dict:
+    """One profile's aggregate row, as plain data."""
+    successes = [report for report in reports if report.success]
+    return {
+        "profile": profile,
+        "runs": len(reports),
+        "recovered": len(successes),
+        "survival_rate": survival_rate(reports),
+        "mean_attempts": mean_attempts(reports),
+        "mean_candidates": (
+            sum(r.candidates_tried for r in successes) / len(successes) if successes else None
+        ),
+        "total_recoveries": sum(len(r.recoveries) for r in reports),
+        "failure_breakdown": failure_breakdown(reports),
+    }
+
+
+def survival_table(batches: dict[str, list], title: str = "Survival vs adversity") -> str:
+    """Render one row per chaos profile from ``{profile: [reports]}``."""
+    headers = [
+        "profile",
+        "runs",
+        "recovered",
+        "survival",
+        "mean attempts",
+        "recoveries",
+        "failure classes",
+    ]
+    rows = []
+    for profile, reports in batches.items():
+        summary = survival_summary(profile, reports)
+        attempts = summary["mean_attempts"]
+        breakdown = summary["failure_breakdown"]
+        rows.append(
+            [
+                profile,
+                summary["runs"],
+                summary["recovered"],
+                f"{summary['survival_rate']:.0%}",
+                "-" if attempts is None else f"{attempts:.1f}",
+                summary["total_recoveries"],
+                ", ".join(f"{name} x{count}" for name, count in breakdown.items()) or "-",
+            ]
+        )
+    return format_table(headers, rows, title=title)

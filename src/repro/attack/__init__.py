@@ -17,21 +17,37 @@ Pipeline, exactly as Sections V-VI describe:
 
 :mod:`repro.attack.baselines` implements the comparison points: a
 privileged pagemap-guided attack (upper bound) and an unsteered random
-spray (lower bound).
+spray (lower bound).  :mod:`repro.attack.orchestrator` wraps the pipeline
+in a resilient state machine (retries, budgets, failure forensics) for
+runs under injected adversity.
 """
 
 from repro.attack.baselines import PagemapAttack, RandomSprayAttack
 from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
 from repro.attack.hammer import Hammerer
+from repro.attack.orchestrator import (
+    AttackOrchestrator,
+    AttackRunReport,
+    FailureClass,
+    OrchestratorConfig,
+    RetryPolicy,
+    StageFailure,
+)
 from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
 from repro.attack.templating import Templator, TemplatorConfig
 
 __all__ = [
+    "AttackOrchestrator",
+    "AttackRunReport",
     "ExplFrameAttack",
     "ExplFrameConfig",
+    "FailureClass",
     "Hammerer",
+    "OrchestratorConfig",
     "PagemapAttack",
     "RandomSprayAttack",
+    "RetryPolicy",
+    "StageFailure",
     "SteeringProtocol",
     "SteeringTrialConfig",
     "Templator",

@@ -40,7 +40,7 @@ from repro.pfa.pfa import (
     invert_key_schedule_128,
     recover_k10_known_fault,
 )
-from repro.sim.errors import ConfigError, FaultError
+from repro.sim.errors import ConfigError, FaultError, TemplatingExhaustedError
 from repro.sim.units import PAGE_SIZE
 
 
@@ -112,6 +112,16 @@ class ExplFrameAttack:
         )
         self.attacker = self.kernel.spawn("explframe-attacker", cpu=self.config.cpu)
         self.templator = Templator(self.kernel, self.attacker.pid, self.config.templator)
+        # Cumulative counters across campaigns (the orchestrator re-runs
+        # stages individually, so these live on the attack, not in run()).
+        self.total_flips = 0
+        self.campaigns_run = 0
+        self._retired_rounds = 0
+
+    @property
+    def hammer_rounds_total(self) -> int:
+        """Hammer rounds issued so far, across retired and live templators."""
+        return self._retired_rounds + self.templator.hammerer.total_rounds
 
     # -- stage 1: templating -------------------------------------------------------
 
@@ -142,6 +152,44 @@ class ExplFrameAttack:
                 usable.append(template)
         return usable
 
+    def retire_templator(self) -> None:
+        """Swap in a fresh templator over a new buffer.
+
+        Required before templating again once any buffer page has been
+        unmapped for staging (re-filling the old buffer would fault), and
+        used between campaigns so each one maps fresh memory.
+        """
+        self._retired_rounds += self.templator.hammerer.total_rounds
+        self.templator = Templator(self.kernel, self.attacker.pid, self.config.templator)
+
+    def run_templating_campaign(self) -> list[FlipTemplate]:
+        """One templating pass; returns the usable templates it found."""
+        templating = self.templator.run()
+        self.total_flips += templating.flips_found
+        self.campaigns_run += 1
+        return self.usable_templates(templating.templates)
+
+    def template_until_usable(self, max_campaigns: int | None = None) -> list[FlipTemplate]:
+        """Template over fresh buffers until a usable flip appears.
+
+        Raises :class:`TemplatingExhaustedError` after ``max_campaigns``
+        (default: the config's) empty-handed campaigns, so callers can
+        classify the failure rather than inspecting a sentinel.
+        """
+        budget = self.config.max_campaigns if max_campaigns is None else max_campaigns
+        for attempt in range(budget):
+            if attempt > 0:
+                self.retire_templator()
+            usable = self.run_templating_campaign()
+            if usable:
+                return usable
+        raise TemplatingExhaustedError(
+            f"no armed in-table flip after {budget} templating campaigns "
+            f"({self.total_flips} flips found overall)",
+            campaigns=budget,
+            flips_found=self.total_flips,
+        )
+
     # -- stage 2+3: steer and re-hammer ----------------------------------------------
 
     def _pick_sacrificial_page(self, template: FlipTemplate) -> int:
@@ -163,7 +211,7 @@ class ExplFrameAttack:
                 return candidate
         raise ConfigError("no sacrificial page available in the buffer")
 
-    def _stage_and_steer(self, template: FlipTemplate) -> tuple[CipherVictim, int, bool]:
+    def stage_and_steer(self, template: FlipTemplate) -> tuple[CipherVictim, int, bool]:
         """Unmap the flippy page (and helpers), let the victim allocate.
 
         For single-table victims the flippy frame must be the *next*
@@ -190,7 +238,7 @@ class ExplFrameAttack:
         steering_success = landed_pfn == staged_pfn
         return victim, staged_pfn, steering_success
 
-    def _rehammer(self, template: FlipTemplate, victim: CipherVictim) -> bool:
+    def rehammer(self, template: FlipTemplate, victim: CipherVictim) -> bool:
         """Hammer the template's aggressors until the victim table faults."""
         for _ in range(self.config.rehammer_attempts):
             self.templator.hammerer.hammer_pair(*template.aggressor_vas)
@@ -200,15 +248,19 @@ class ExplFrameAttack:
 
     # -- stage 4: fault analysis ----------------------------------------------------
 
-    def _run_pfa(self, victim: CipherVictim, v_star: int) -> tuple[bytes | None, int, float]:
+    def run_pfa(
+        self, victim: CipherVictim, v_star: int, limit: int | None = None
+    ) -> tuple[bytes | None, int, float]:
         """Collect faulty ciphertexts and recover the master key.
 
         Returns (key or None, ciphertexts consumed, log2 of the residual
-        key space when recovery stopped).
+        key space when recovery stopped).  ``limit`` overrides the
+        config's ciphertext budget (retries may raise it).
         """
+        limit = self.config.pfa_limit if limit is None else limit
         rng = self.machine.rng.numpy_stream("attack.plaintexts")
         state = PfaState()
-        while state.total < self.config.pfa_limit:
+        while state.total < limit:
             state.update(victim.encrypt_batch(self.config.pfa_batch, rng))
             if state.is_unique():
                 break
@@ -222,7 +274,9 @@ class ExplFrameAttack:
             return None, state.total, candidates.log2_keyspace
         return master, state.total, 0.0
 
-    def _run_pfa_present(self, victim: CipherVictim, v_star: int) -> tuple[bytes | None, int, float]:
+    def run_pfa_present(
+        self, victim: CipherVictim, v_star: int, limit: int | None = None
+    ) -> tuple[bytes | None, int, float]:
         """PRESENT variant: recover K32 (and optionally the master key).
 
         Returns (key material or None, ciphertexts consumed, residual
@@ -237,17 +291,17 @@ class ExplFrameAttack:
             recover_present80_key,
         )
 
+        limit = self.config.pfa_limit if limit is None else limit
         rng = self.machine.rng.stream("attack.present-plaintexts")
         plaintexts = [
-            bytes(rng.randrange(256) for _ in range(8))
-            for _ in range(self.config.pfa_limit)
+            bytes(rng.randrange(256) for _ in range(8)) for _ in range(limit)
         ]
         try:
             consumed, state = ciphertexts_to_unique_k32(
-                victim.encrypt, lambda i: plaintexts[i], limit=self.config.pfa_limit
+                victim.encrypt, lambda i: plaintexts[i], limit=limit
             )
         except FaultError:
-            return None, self.config.pfa_limit, 64.0
+            return None, limit, 64.0
         if not self.config.present_full_search:
             k32 = recover_k32_known_fault(state, v_star)
             return k32.to_bytes(8, "big"), consumed, 16.0
@@ -258,6 +312,34 @@ class ExplFrameAttack:
         master = recover_present80_key(state, v_star, clean_pt, clean_ct)
         return master, consumed, 0.0 if master is not None else 16.0
 
+    def v_star_for(self, template: FlipTemplate) -> int:
+        """The clean S-box value at the templated flip's position.
+
+        PFA needs to know which table entry was replaced; the attacker
+        knows it because she templated the flip (v* is public layout plus
+        her own measurement, not ground truth).
+        """
+        sbox_index = template.page_offset - self.config.table_offset
+        clean_table = PRESENT_SBOX if self.config.cipher == "present" else AES_SBOX
+        return clean_table[sbox_index]
+
+    def run_fault_analysis(
+        self, victim: CipherVictim, template: FlipTemplate, limit: int | None = None
+    ) -> tuple[bytes | None, int, float]:
+        """Stage-4 dispatch: run the right PFA variant for the cipher."""
+        v_star = self.v_star_for(template)
+        if self.config.cipher == "present":
+            return self.run_pfa_present(victim, v_star, limit)
+        return self.run_pfa(victim, v_star, limit)
+
+    def target_key(self) -> bytes:
+        """The key material a successful run must recover."""
+        if self.config.cipher != "present" or self.config.present_full_search:
+            return self.true_key
+        # Success criterion for the fast PRESENT path: the full 64-bit
+        # last round key (a 16-bit schedule residue remains).
+        return Present(self.true_key).round_keys[31].to_bytes(8, "big")
+
     # -- the full chain ---------------------------------------------------------------
 
     def run(self) -> EndToEndResult:
@@ -265,69 +347,49 @@ class ExplFrameAttack:
 
         Templating campaigns repeat over fresh buffers (up to
         ``max_campaigns``) until a flip usable against the victim's table
-        is found — attackers template as much memory as it takes.
+        is found — attackers template as much memory as it takes.  This is
+        the single-shot driver: every stage runs once and failure is
+        final.  :class:`repro.attack.orchestrator.AttackOrchestrator`
+        wraps the same stages with retries, budgets and forensics.
         """
         start_ns = self.kernel.clock.now_ns
-        total_flips = 0
-        total_rounds = 0
-        usable: list[FlipTemplate] = []
-        for _ in range(self.config.max_campaigns):
-            templating = self.templator.run()
-            total_flips += templating.flips_found
-            usable = self.usable_templates(templating.templates)
-            if usable:
-                break
-            total_rounds += self.templator.hammerer.total_rounds
-            self.templator = Templator(
-                self.kernel, self.attacker.pid, self.config.templator
-            )
-        if not usable:
+        try:
+            usable = self.template_until_usable()
+        except TemplatingExhaustedError:
             return EndToEndResult(
-                templated_flips=total_flips,
+                templated_flips=self.total_flips,
                 steering_success=False,
                 fault_in_table=False,
                 faulty_ciphertexts=0,
                 key_recovered=False,
                 recovered_key=None,
                 true_key=self.true_key,
-                hammer_rounds_total=total_rounds,
+                hammer_rounds_total=self.hammer_rounds_total,
                 syscalls_total=self.attacker.syscall_count,
                 sim_time_ns=self.kernel.clock.now_ns - start_ns,
             )
         template = usable[0]
-        victim, _, steering_success = self._stage_and_steer(template)
-        faulted = self._rehammer(template, victim)
+        victim, _, steering_success = self.stage_and_steer(template)
+        faulted = self.rehammer(template, victim)
 
         recovered = None
         consumed = 0
         residual_bits = None
         if faulted:
-            sbox_index = template.page_offset - self.config.table_offset
-            if self.config.cipher == "present":
-                v_star = PRESENT_SBOX[sbox_index]
-                recovered, consumed, residual_bits = self._run_pfa_present(
-                    victim, v_star
-                )
-            else:
-                v_star = AES_SBOX[sbox_index]
-                recovered, consumed, residual_bits = self._run_pfa(victim, v_star)
+            recovered, consumed, residual_bits = self.run_fault_analysis(
+                victim, template
+            )
 
-        if self.config.cipher != "present" or self.config.present_full_search:
-            target = self.true_key
-        else:
-            # Success criterion for the fast PRESENT path: the full 64-bit
-            # last round key (a 16-bit schedule residue remains).
-            target = Present(self.true_key).round_keys[31].to_bytes(8, "big")
-
+        target = self.target_key()
         return EndToEndResult(
-            templated_flips=total_flips,
+            templated_flips=self.total_flips,
             steering_success=steering_success,
             fault_in_table=faulted,
             faulty_ciphertexts=consumed,
             key_recovered=recovered is not None and recovered == target,
             recovered_key=recovered,
             true_key=self.true_key,
-            hammer_rounds_total=total_rounds + self.templator.hammerer.total_rounds,
+            hammer_rounds_total=self.hammer_rounds_total,
             syscalls_total=self.attacker.syscall_count,
             log2_keyspace_after_pfa=residual_bits,
             sim_time_ns=self.kernel.clock.now_ns - start_ns,

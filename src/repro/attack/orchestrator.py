@@ -1,0 +1,527 @@
+"""Resilient attack orchestration: retries, budgets, failure forensics.
+
+:class:`~repro.attack.explframe.ExplFrameAttack.run` is a single-shot
+driver — every stage runs once and any adversity (a stolen staged frame,
+a flip that stops repeating, a TRR burst) kills the run with no record of
+why.  :class:`AttackOrchestrator` wraps the same stage methods in an
+explicit state machine:
+
+* **Per-stage retry policies** with exponential backoff *in simulated
+  clock time* — waiting out a TRR sampling burst or a threshold-drift
+  window costs sim-nanoseconds, not host time, and the advance also lets
+  refresh epochs roll over so residual disturbance decays.
+* **Global budgets** — a deadline (sim time), an activation budget
+  (total hammer rounds), and a campaign budget (templating passes).
+  Budgets are checked before every attempt; a blown budget terminates
+  the run with a ``budget-exhausted`` failure naming the budget.
+* **Typed failure classification** — every failed attempt is recorded as
+  a :class:`StageFailure` with a :class:`FailureClass`; no run ever ends
+  with an unexplained cause.
+* **Recovery strategies per class** — a steering miss repins the
+  attacker (migration recovery) and steers the next candidate template;
+  a non-repeatable flip backs off and re-hammers; a disarmed or
+  mismatched fault falls back to the next candidate; an empty candidate
+  queue launches a fresh templating campaign.
+
+Everything the run did lands in an :class:`AttackRunReport` — a
+per-stage timeline, the failure log, every chaos event that fired, and
+the budget spend — serialisable to byte-identical JSON for the same
+seed and chaos plan.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.attack.explframe import ExplFrameAttack
+from repro.core.results import FlipTemplate
+from repro.sim.errors import ConfigError, TemplatingExhaustedError
+from repro.sim.units import MS, SECOND
+
+# -- failure taxonomy -------------------------------------------------------------
+
+
+class FailureClass(str, Enum):
+    """Why an attempt (or the whole run) failed.
+
+    String-valued so reports serialise to stable, readable JSON.
+    """
+
+    TEMPLATING_EXHAUSTED = "templating-exhausted"
+    STEERING_MISS = "steering-miss"
+    NON_REPEATABLE_FLIP = "non-repeatable-flip"
+    DISARMED_DIRECTION = "disarmed-direction"
+    PFA_INCONCLUSIVE = "pfa-inconclusive"
+    KEY_MISMATCH = "key-mismatch"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+
+
+@dataclass(frozen=True)
+class StageFailure:
+    """One classified failure, with enough detail to debug the run."""
+
+    stage: str
+    failure_class: FailureClass
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "class": self.failure_class.value,
+            "detail": self.detail,
+        }
+
+
+# -- policies and budgets ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often to retry a stage and how long to back off between tries.
+
+    Backoff is exponential: attempt ``n`` (0-based) waits
+    ``backoff_base_ns * backoff_factor**n`` of *simulated* time.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ns: int = 10 * MS
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be at least 1, got {self.max_attempts}")
+        if self.backoff_base_ns < 0:
+            raise ConfigError(f"backoff_base_ns must be non-negative, got {self.backoff_base_ns}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    def backoff_ns(self, attempt: int) -> int:
+        """Sim-time to wait after failed attempt ``attempt`` (0-based)."""
+        return int(self.backoff_base_ns * self.backoff_factor**attempt)
+
+
+@dataclass(frozen=True)
+class OrchestratorConfig:
+    """Budgets and per-stage retry policies for one orchestrated run."""
+
+    deadline_ns: int = 120 * SECOND
+    activation_budget: int = 100_000_000_000
+    campaign_budget: int = 8
+    steer: RetryPolicy = field(default_factory=lambda: RetryPolicy(4, 10 * MS, 2.0))
+    rehammer: RetryPolicy = field(default_factory=lambda: RetryPolicy(4, 20 * MS, 3.0))
+    pfa: RetryPolicy = field(default_factory=lambda: RetryPolicy(3, 1 * MS, 2.0))
+
+    def __post_init__(self) -> None:
+        if self.deadline_ns <= 0:
+            raise ConfigError(f"deadline_ns must be positive, got {self.deadline_ns}")
+        if self.activation_budget <= 0:
+            raise ConfigError(
+                f"activation_budget must be positive, got {self.activation_budget}"
+            )
+        if self.campaign_budget <= 0:
+            raise ConfigError(f"campaign_budget must be positive, got {self.campaign_budget}")
+
+
+# -- report ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One stage attempt on the run's timeline."""
+
+    stage: str
+    attempt: int
+    start_ns: int
+    end_ns: int
+    outcome: str  # "ok" | "fail"
+    failure: StageFailure | None = None
+    recovery: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "attempt": self.attempt,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "outcome": self.outcome,
+            "failure": None if self.failure is None else self.failure.to_dict(),
+            "recovery": self.recovery,
+        }
+
+
+@dataclass(frozen=True)
+class BudgetSpend:
+    """What the run consumed versus what it was allowed."""
+
+    sim_time_ns: int
+    deadline_ns: int
+    hammer_rounds: int
+    activation_budget: int
+    campaigns: int
+    campaign_budget: int
+
+    def to_dict(self) -> dict:
+        return {
+            "sim_time_ns": self.sim_time_ns,
+            "deadline_ns": self.deadline_ns,
+            "hammer_rounds": self.hammer_rounds,
+            "activation_budget": self.activation_budget,
+            "campaigns": self.campaigns,
+            "campaign_budget": self.campaign_budget,
+        }
+
+
+@dataclass(frozen=True)
+class AttackRunReport:
+    """Structured forensics for one orchestrated attack run.
+
+    Deterministic under (machine seed, chaos plan): :meth:`to_json` is
+    byte-identical across replays.
+    """
+
+    seed: int
+    chaos_profile: str
+    success: bool
+    recovered_key: str | None
+    true_key: str
+    final_failure: StageFailure | None
+    timeline: tuple[AttemptRecord, ...]
+    failures: tuple[StageFailure, ...]
+    chaos_events: tuple[dict, ...]
+    budget: BudgetSpend
+    templated_flips: int
+    candidates_tried: int
+    recoveries: tuple[str, ...]
+    faulty_ciphertexts: int
+
+    @property
+    def failure_classes(self) -> list[str]:
+        """Distinct failure classes seen, in first-occurrence order."""
+        seen: list[str] = []
+        for failure in self.failures:
+            if failure.failure_class.value not in seen:
+                seen.append(failure.failure_class.value)
+        return seen
+
+    @property
+    def attempts(self) -> int:
+        """Total stage attempts on the timeline."""
+        return len(self.timeline)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "chaos_profile": self.chaos_profile,
+            "success": self.success,
+            "recovered_key": self.recovered_key,
+            "true_key": self.true_key,
+            "final_failure": None if self.final_failure is None else self.final_failure.to_dict(),
+            "failure_classes": self.failure_classes,
+            "timeline": [record.to_dict() for record in self.timeline],
+            "failures": [failure.to_dict() for failure in self.failures],
+            "chaos_events": list(self.chaos_events),
+            "budget": self.budget.to_dict(),
+            "templated_flips": self.templated_flips,
+            "candidates_tried": self.candidates_tried,
+            "recoveries": list(self.recoveries),
+            "faulty_ciphertexts": self.faulty_ciphertexts,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, compact separators)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+# -- the orchestrator --------------------------------------------------------------
+
+
+class AttackOrchestrator:
+    """Runs an :class:`ExplFrameAttack` to success or exhaustion.
+
+    The attack object supplies the stages; the orchestrator supplies the
+    control flow.  Chaos (if any) is attached to the kernel separately —
+    the orchestrator only *reads* ``kernel.chaos`` for forensics, it
+    never injects adversity itself.
+    """
+
+    def __init__(self, attack: ExplFrameAttack, config: OrchestratorConfig | None = None):
+        self.attack = attack
+        self.kernel = attack.kernel
+        self.config = config or OrchestratorConfig()
+        self._timeline: list[AttemptRecord] = []
+        self._failures: list[StageFailure] = []
+        self._recoveries: list[str] = []
+        self._stage_attempts: dict[str, int] = {}
+        self._start_ns = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def _record(
+        self,
+        stage: str,
+        start_ns: int,
+        *,
+        failure: StageFailure | None = None,
+        recovery: str | None = None,
+    ) -> None:
+        attempt = self._stage_attempts.get(stage, 0)
+        self._stage_attempts[stage] = attempt + 1
+        if failure is not None:
+            self._failures.append(failure)
+        if recovery is not None:
+            self._recoveries.append(recovery)
+        self._timeline.append(
+            AttemptRecord(
+                stage=stage,
+                attempt=attempt,
+                start_ns=start_ns,
+                end_ns=self.kernel.clock.now_ns,
+                outcome="ok" if failure is None else "fail",
+                failure=failure,
+                recovery=recovery,
+            )
+        )
+
+    def _blown_budget(self) -> StageFailure | None:
+        """The budget the run has exhausted, if any."""
+        elapsed = self.kernel.clock.now_ns - self._start_ns
+        if elapsed >= self.config.deadline_ns:
+            return StageFailure(
+                "budget",
+                FailureClass.BUDGET_EXHAUSTED,
+                f"deadline: {elapsed} ns elapsed of {self.config.deadline_ns} ns",
+            )
+        if self.attack.hammer_rounds_total >= self.config.activation_budget:
+            return StageFailure(
+                "budget",
+                FailureClass.BUDGET_EXHAUSTED,
+                f"activations: {self.attack.hammer_rounds_total} rounds "
+                f"of {self.config.activation_budget}",
+            )
+        return None
+
+    def _backoff(self, policy: RetryPolicy, attempt: int) -> None:
+        """Wait out adversity in simulated time (never past hope)."""
+        self.kernel.clock.advance(policy.backoff_ns(attempt))
+
+    # -- recovery helpers ---------------------------------------------------------
+
+    def _repin_if_migrated(self) -> str | None:
+        """Pull the attacker back onto the victim-shared CPU if moved."""
+        attacker = self.attack.attacker
+        home = self.attack.config.cpu
+        if attacker.cpu == home:
+            return None
+        moved_from = attacker.cpu
+        self.kernel.sys_sched_setaffinity(attacker.pid, frozenset({home}))
+        return f"repinned attacker from cpu {moved_from} to cpu {home}"
+
+    def _fault_matches_template(self, victim, template: FlipTemplate) -> bool:
+        """Ground-truth check: is the observed fault the templated one?
+
+        A mismatched shape (wrong entry, wrong bit, or extra corruptions)
+        means v* is wrong and PFA would chase a phantom key.
+        """
+        corrupted = victim.sbox.corrupted_entries()
+        if len(corrupted) != 1:
+            return False
+        index, expected, actual = corrupted[0]
+        predicted_index = template.page_offset - self.attack.config.table_offset
+        return index == predicted_index and actual == expected ^ (1 << template.bit)
+
+    # -- the state machine ---------------------------------------------------------
+
+    def run(self) -> AttackRunReport:
+        """Drive template → steer → re-hammer → PFA to success or exhaustion."""
+        attack = self.attack
+        self._start_ns = self.kernel.clock.now_ns
+        candidates: deque[FlipTemplate] = deque()
+        candidates_tried = 0
+        consumed_total = 0
+        steer_misses = 0
+        final_failure: StageFailure | None = None
+        success = False
+        recovered: bytes | None = None
+
+        while not success:
+            final_failure = self._blown_budget()
+            if final_failure is not None:
+                self._record("budget", self.kernel.clock.now_ns, failure=final_failure)
+                break
+
+            # -- template: keep a candidate queue stocked -------------------------
+            if not candidates:
+                campaigns_left = self.config.campaign_budget - attack.campaigns_run
+                if campaigns_left <= 0:
+                    final_failure = StageFailure(
+                        "template",
+                        FailureClass.BUDGET_EXHAUSTED,
+                        f"campaigns: {attack.campaigns_run} run of "
+                        f"{self.config.campaign_budget}",
+                    )
+                    self._record("budget", self.kernel.clock.now_ns, failure=final_failure)
+                    break
+                start = self.kernel.clock.now_ns
+                recovery = None
+                if attack.campaigns_run > 0:
+                    # The previous buffer has unmapped (staged) holes, so a
+                    # re-fill would fault; template over fresh memory.
+                    attack.retire_templator()
+                    recovery = "fresh templating campaign over a new buffer"
+                try:
+                    usable = attack.template_until_usable(campaigns_left)
+                except TemplatingExhaustedError as exc:
+                    final_failure = StageFailure(
+                        "template",
+                        FailureClass.TEMPLATING_EXHAUSTED,
+                        f"{exc.campaigns} campaigns, {exc.flips_found} flips, "
+                        "none armed and in-table",
+                    )
+                    self._record("template", start, failure=final_failure)
+                    break
+                candidates.extend(usable)
+                self._record("template", start, recovery=recovery)
+
+            template = candidates.popleft()
+            # Staging a sibling template may have unmapped this page already.
+            if not attack.attacker.mm.page_table.is_mapped(template.page_va):
+                continue
+            candidates_tried += 1
+
+            # -- steer: stage the flippy frame into the victim's allocation -------
+            start = self.kernel.clock.now_ns
+            recovery = self._repin_if_migrated()
+            victim, staged_pfn, steered = attack.stage_and_steer(template)
+            if not steered:
+                steer_misses += 1
+                failure = StageFailure(
+                    "steer",
+                    FailureClass.STEERING_MISS,
+                    f"staged frame {staged_pfn} was not the victim's table frame",
+                )
+                self._record("steer", start, failure=failure, recovery=recovery)
+                if steer_misses % self.config.steer.max_attempts == 0:
+                    # Too many consecutive misses from this buffer: the cache
+                    # is being churned under us — start over with fresh frames.
+                    candidates.clear()
+                self._backoff(self.config.steer, steer_misses - 1)
+                continue
+            self._record("steer", start, recovery=recovery)
+            steer_misses = 0
+
+            # -- re-hammer: reproduce the templated flip inside the victim --------
+            faulted = False
+            for attempt in range(self.config.rehammer.max_attempts):
+                final_failure = self._blown_budget()
+                if final_failure is not None:
+                    self._record("budget", self.kernel.clock.now_ns, failure=final_failure)
+                    break
+                start = self.kernel.clock.now_ns
+                recovery = (
+                    None if attempt == 0 else f"re-hammer after backoff (try {attempt + 1})"
+                )
+                if attack.rehammer(template, victim):
+                    faulted = True
+                    self._record("rehammer", start, recovery=recovery)
+                    break
+                failure = StageFailure(
+                    "rehammer",
+                    FailureClass.NON_REPEATABLE_FLIP,
+                    f"templated flip at offset {template.page_offset:#x} bit "
+                    f"{template.bit} did not reproduce",
+                )
+                self._record("rehammer", start, failure=failure, recovery=recovery)
+                self._backoff(self.config.rehammer, attempt)
+            if final_failure is not None:
+                break
+            if not faulted:
+                continue  # next candidate template
+
+            # Ground-truth shape check: PFA assumes the fault is exactly the
+            # templated (entry, bit) — anything else is a disarmed or stray
+            # flip and v* would be wrong.
+            if not self._fault_matches_template(victim, template):
+                failure = StageFailure(
+                    "rehammer",
+                    FailureClass.DISARMED_DIRECTION,
+                    "fault present but shape does not match the template "
+                    f"(expected entry {template.page_offset - attack.config.table_offset}, "
+                    f"bit {template.bit})",
+                )
+                self._record("rehammer", self.kernel.clock.now_ns, failure=failure)
+                continue
+
+            # -- PFA: recover the key, widening the ciphertext budget on retry ----
+            target = attack.target_key()
+            for attempt in range(self.config.pfa.max_attempts):
+                final_failure = self._blown_budget()
+                if final_failure is not None:
+                    self._record("budget", self.kernel.clock.now_ns, failure=final_failure)
+                    break
+                start = self.kernel.clock.now_ns
+                limit = attack.config.pfa_limit << attempt
+                recovery = (
+                    None
+                    if attempt == 0
+                    else f"retry PFA with ciphertext budget {limit}"
+                )
+                recovered, consumed, _residual = attack.run_fault_analysis(
+                    victim, template, limit
+                )
+                consumed_total += consumed
+                if recovered is None:
+                    failure = StageFailure(
+                        "pfa",
+                        FailureClass.PFA_INCONCLUSIVE,
+                        f"key space not unique after {consumed} ciphertexts",
+                    )
+                    self._record("pfa", start, failure=failure, recovery=recovery)
+                    self._backoff(self.config.pfa, attempt)
+                    continue
+                if recovered != target:
+                    failure = StageFailure(
+                        "pfa",
+                        FailureClass.KEY_MISMATCH,
+                        "PFA converged on a key that fails verification",
+                    )
+                    self._record("pfa", start, failure=failure, recovery=recovery)
+                    recovered = None
+                    break  # wrong fault model: move to the next candidate
+                self._record("pfa", start, recovery=recovery)
+                success = True
+                break
+            if final_failure is not None:
+                break
+
+        if success:
+            final_failure = None
+        elif final_failure is None and self._failures:
+            final_failure = self._failures[-1]
+
+        chaos = self.kernel.chaos
+        return AttackRunReport(
+            seed=attack.machine.rng.master_seed,
+            chaos_profile="none" if chaos is None else chaos.plan.name,
+            success=success,
+            recovered_key=recovered.hex() if success and recovered is not None else None,
+            true_key=attack.true_key.hex(),
+            final_failure=final_failure,
+            timeline=tuple(self._timeline),
+            failures=tuple(self._failures),
+            chaos_events=tuple(chaos.records_as_dicts()) if chaos is not None else (),
+            budget=BudgetSpend(
+                sim_time_ns=self.kernel.clock.now_ns - self._start_ns,
+                deadline_ns=self.config.deadline_ns,
+                hammer_rounds=attack.hammer_rounds_total,
+                activation_budget=self.config.activation_budget,
+                campaigns=attack.campaigns_run,
+                campaign_budget=self.config.campaign_budget,
+            ),
+            templated_flips=attack.total_flips,
+            candidates_tried=candidates_tried,
+            recoveries=tuple(self._recoveries),
+            faulty_ciphertexts=consumed_total,
+        )

@@ -43,11 +43,27 @@ def _vulnerable_machine(seed: int, density: float):
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
-    """Run the full ExplFrame chain; exit code 0 iff the key was recovered."""
+    """Run the full ExplFrame chain; exit code 0 iff the key was recovered.
+
+    With ``--chaos`` (or ``--orchestrate``) the run goes through the
+    resilient :class:`AttackOrchestrator` — retries, simulated-time
+    backoff, budgets — and prints an :class:`AttackRunReport` summary;
+    ``--single-shot`` forces the bare pipeline even under chaos.  Both
+    paths exit non-zero when the key is not recovered.
+    """
     from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
+    from repro.attack.orchestrator import (
+        AttackOrchestrator,
+        OrchestratorConfig,
+        RetryPolicy,
+    )
     from repro.attack.templating import TemplatorConfig
+    from repro.sim.chaos import ChaosEngine, chaos_profile
+    from repro.sim.units import SECOND
 
     machine = _vulnerable_machine(args.seed, args.density)
+    if args.chaos != "none":
+        ChaosEngine(machine.kernel, chaos_profile(args.chaos, args.chaos_intensity))
     config = ExplFrameConfig(
         cipher=args.cipher,
         templator=TemplatorConfig(
@@ -55,7 +71,51 @@ def cmd_attack(args: argparse.Namespace) -> int:
         ),
         max_campaigns=args.campaigns,
     )
-    result = ExplFrameAttack(machine, config=config).run()
+    attack = ExplFrameAttack(machine, config=config)
+
+    orchestrate = (args.orchestrate or args.chaos != "none") and not args.single_shot
+    if orchestrate:
+        retries = args.max_retries
+        orchestrator = AttackOrchestrator(
+            attack,
+            OrchestratorConfig(
+                deadline_ns=int(args.deadline * SECOND),
+                campaign_budget=max(args.campaigns, 2 * config.max_campaigns),
+                steer=RetryPolicy(max_attempts=retries),
+                rehammer=RetryPolicy(max_attempts=retries, backoff_base_ns=20_000_000, backoff_factor=3.0),
+                pfa=RetryPolicy(max_attempts=min(retries, 3), backoff_base_ns=1_000_000),
+            ),
+        )
+        report = orchestrator.run()
+        if args.json:
+            print(report.to_json())
+            return 0 if report.success else 1
+        spend = report.budget
+        print(f"chaos profile:        {report.chaos_profile}")
+        print(f"chaos events fired:   {len(report.chaos_events)}")
+        print(f"stage attempts:       {report.attempts}")
+        print(f"candidates tried:     {report.candidates_tried}")
+        print(f"recoveries:           {len(report.recoveries)}")
+        for action in report.recoveries:
+            print(f"  - {action}")
+        classes = ", ".join(report.failure_classes) or "-"
+        print(f"failure classes:      {classes}")
+        if report.final_failure is not None:
+            print(
+                f"final failure:        {report.final_failure.failure_class.value} "
+                f"({report.final_failure.detail})"
+            )
+        print(
+            f"budget spend:         {spend.sim_time_ns / 1e9:.2f} s sim of "
+            f"{spend.deadline_ns / 1e9:.0f} s, {spend.campaigns} campaigns of "
+            f"{spend.campaign_budget}"
+        )
+        print(f"true key:             {report.true_key}")
+        print(f"recovered key:        {report.recovered_key or '-'}")
+        print(f"KEY RECOVERED:        {report.success}")
+        return 0 if report.success else 1
+
+    result = attack.run()
     print(f"flips templated:      {result.templated_flips}")
     print(f"steering succeeded:   {result.steering_success}")
     print(f"table faulted:        {result.fault_in_table}")
@@ -204,6 +264,39 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--buffer-mib", type=int, default=8)
     attack.add_argument("--density", type=float, default=3.0, help="weak cells per row")
     attack.add_argument("--campaigns", type=int, default=4)
+    from repro.sim.chaos import CHAOS_PROFILES
+
+    attack.add_argument(
+        "--chaos",
+        choices=CHAOS_PROFILES,
+        default="none",
+        help="inject a chaos profile (implies --orchestrate unless --single-shot)",
+    )
+    attack.add_argument(
+        "--chaos-intensity", type=float, default=1.0, help="scale the chaos profile"
+    )
+    attack.add_argument(
+        "--orchestrate",
+        action="store_true",
+        help="run under the resilient orchestrator (retries, budgets, forensics)",
+    )
+    attack.add_argument(
+        "--single-shot",
+        action="store_true",
+        help="force the bare pipeline even when chaos is injected",
+    )
+    attack.add_argument(
+        "--deadline",
+        type=float,
+        default=3600.0,
+        help="orchestrator deadline in simulated seconds",
+    )
+    attack.add_argument(
+        "--max-retries", type=int, default=4, help="per-stage retry attempts"
+    )
+    attack.add_argument(
+        "--json", action="store_true", help="print the AttackRunReport as JSON"
+    )
     attack.set_defaults(func=cmd_attack)
 
     steer = sub.add_parser("steer", help="steering success-rate trials")
@@ -243,10 +336,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    0 = success, 1 = the command ran but failed (e.g. key not recovered),
+    2 = invalid arguments or configuration.
+    """
+    from repro.sim.errors import ConfigError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

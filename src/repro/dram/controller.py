@@ -113,6 +113,14 @@ class MemoryController:
             self.ecc = EccState(self.ecc_config)
             self.memory.write_hook = self.ecc.clear_range
         self.weak_cells = WeakCellMap(geometry, flip_config, rng)
+        # Chaos-injection hooks (repro.sim.chaos): ``threshold_scale``
+        # multiplies every weak cell's flip threshold (environmental drift —
+        # >1 hardens the module, <1 softens it) and ``refresh_scale``
+        # stretches or shrinks the effective refresh window.  Both stay 1.0
+        # unless a ChaosEngine is driving them, preserving the baseline
+        # behaviour bit-for-bit.
+        self.threshold_scale = 1.0
+        self.refresh_scale = 1.0
         self._banks: dict[tuple[int, int, int], Bank] = {}
         self._refresh_epoch = 0
         self.flip_log: list[FlipEvent] = []
@@ -153,8 +161,14 @@ class MemoryController:
                 misses += bank.trr.tracker_misses
         return {"neighbor_refreshes": refreshes, "tracker_misses": misses}
 
+    def effective_refw_ns(self) -> int:
+        """The refresh window length after any chaos-injected jitter."""
+        if self.refresh_scale == 1.0:
+            return self.timing.t_refw_ns
+        return max(1, int(self.timing.t_refw_ns * self.refresh_scale))
+
     def _maybe_refresh(self) -> None:
-        epoch = self.clock.now_ns // self.timing.t_refw_ns
+        epoch = self.clock.now_ns // self.effective_refw_ns()
         if epoch != self._refresh_epoch:
             for bank in self._banks.values():
                 bank.refresh()
@@ -163,7 +177,7 @@ class MemoryController:
 
     def current_refresh_epoch(self) -> int:
         """Index of the refresh window containing the current time."""
-        return self.clock.now_ns // self.timing.t_refw_ns
+        return self.clock.now_ns // self.effective_refw_ns()
 
     # -- disturbance evaluation ------------------------------------------------
 
@@ -199,7 +213,7 @@ class MemoryController:
         channel, rank, bank_index = key
         flips: list[FlipEvent] = []
         for cell in cells:
-            if cell.threshold > disturbance:
+            if cell.threshold * self.threshold_scale > disturbance:
                 continue
             addr = self.mapping.to_phys(
                 DRAMAddress(
@@ -320,7 +334,7 @@ class MemoryController:
         rounds_left = rounds
         elapsed = 0
         while rounds_left > 0:
-            window_end = (self.current_refresh_epoch() + 1) * self.timing.t_refw_ns
+            window_end = (self.current_refresh_epoch() + 1) * self.effective_refw_ns()
             remaining_ns = window_end - self.clock.now_ns
             if ns_per_round > 0:
                 chunk = min(rounds_left, max(1, remaining_ns // ns_per_round))

@@ -90,6 +90,14 @@ class Kernel:
         # Per-(window, task) DRAM activation accounting, consumed by the
         # HammerWatchdog (repro.defense) — the software detection layer.
         self.ledger = ActivationLedger()
+        # Optional chaos-injection engine (repro.sim.chaos).  When attached,
+        # well-defined syscall hooks pump it so adversity events fire
+        # deterministically inside the simulation, not around it.
+        self.chaos = None
+
+    def _pump_chaos(self, hook: str, pid: int) -> None:
+        if self.chaos is not None:
+            self.chaos.pump(hook, pid)
 
     def _account_activations(self, pid: int, activations: int) -> None:
         if activations > 0:
@@ -119,6 +127,7 @@ class Kernel:
         task = Task(pid=pid, name=name, cpu=chosen, allowed_cpus=allowed, caps=caps)
         self.tasks[pid] = task
         self.scheduler.place(task)
+        self._pump_chaos("spawn", pid)
         return task
 
     def task(self, pid: int) -> Task:
@@ -166,6 +175,7 @@ class Kernel:
         task = self.task(pid)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._pump_chaos("sleep", pid)
         if task.state is TaskState.SLEEPING:
             return 0
         self.scheduler.remove(task)
@@ -195,6 +205,7 @@ class Kernel:
         task.syscall_count += 1
         self.stats.syscalls += 1
         self.stats.mmap_calls += 1
+        self._pump_chaos("mmap", pid)
         flags = VmaFlags.ANONYMOUS
         if populate:
             flags |= VmaFlags.POPULATE
@@ -215,10 +226,16 @@ class Kernel:
         task.syscall_count += 1
         self.stats.syscalls += 1
         self.stats.munmap_calls += 1
+        # Two pump points bracket the free: "munmap-pre" fires before any
+        # frame moves (a migration here sends the frames to another CPU's
+        # cache), "munmap" fires after they landed (pressure here buries
+        # them under competitor churn).
+        self._pump_chaos("munmap-pre", pid)
         detached = task.mm.munmap(va, length)
         for _, pfn in detached:
             self.allocator.free_pages(pfn, 0, cpu=task.cpu)
             self.stats.frames_freed += 1
+        self._pump_chaos("munmap", pid)
         return len(detached)
 
     # -- demand paging ----------------------------------------------------------
@@ -380,6 +397,7 @@ class Kernel:
         self._require_running(task)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._pump_chaos("hammer", pid)
         pas = []
         for va in vas:
             if not task.mm.page_table.is_mapped(page_align_down(va)):

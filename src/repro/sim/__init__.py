@@ -4,8 +4,20 @@ Every stochastic component of the reproduction draws randomness from a
 named stream derived from a single master seed (:class:`RngStreams`), and
 every timed component reads a shared :class:`SimClock`.  Together they make
 whole-machine runs reproducible bit-for-bit.
+
+:mod:`repro.sim.chaos` injects seeded adversity (threshold drift, refresh
+jitter, allocation pressure, migrations, TRR bursts) into the same
+deterministic framework.
 """
 
+from repro.sim.chaos import (
+    CHAOS_PROFILES,
+    ChaosEngine,
+    ChaosEvent,
+    ChaosPlan,
+    ChaosRecord,
+    chaos_profile,
+)
 from repro.sim.clock import SimClock
 from repro.sim.errors import (
     AllocationError,
@@ -15,6 +27,7 @@ from repro.sim.errors import (
     OutOfMemoryError,
     ReproError,
     SegmentationFault,
+    TemplatingExhaustedError,
 )
 from repro.sim.rng import RngStreams
 from repro.sim.units import (
@@ -25,6 +38,7 @@ from repro.sim.units import (
     NS,
     PAGE_SHIFT,
     PAGE_SIZE,
+    SECOND,
     US,
     format_bytes,
     format_time_ns,
@@ -32,7 +46,12 @@ from repro.sim.units import (
 
 __all__ = [
     "AllocationError",
+    "CHAOS_PROFILES",
     "CapabilityError",
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosRecord",
     "ConfigError",
     "FaultError",
     "GIB",
@@ -45,9 +64,12 @@ __all__ = [
     "PAGE_SIZE",
     "ReproError",
     "RngStreams",
+    "SECOND",
     "SegmentationFault",
     "SimClock",
+    "TemplatingExhaustedError",
     "US",
+    "chaos_profile",
     "format_bytes",
     "format_time_ns",
 ]

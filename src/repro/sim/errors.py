@@ -44,3 +44,19 @@ class CapabilityError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection or fault-analysis step failed."""
+
+
+class TemplatingExhaustedError(FaultError):
+    """Every templating campaign ended without a usable in-table flip.
+
+    Raised by the attack when ``max_campaigns`` Rowhammer templating
+    campaigns found no repeatable flip that lands inside the victim's
+    table region with an armed direction.  Carries the campaign and flip
+    counts so a retry orchestrator can classify the failure and decide
+    whether launching further campaigns is worthwhile.
+    """
+
+    def __init__(self, message: str, *, campaigns: int = 0, flips_found: int = 0):
+        super().__init__(message)
+        self.campaigns = campaigns
+        self.flips_found = flips_found

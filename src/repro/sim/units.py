@@ -16,6 +16,7 @@ PAGE_SIZE = 1 << PAGE_SHIFT  # 4096 bytes, the x86-64 base page
 NS = 1
 US = 1_000 * NS
 MS = 1_000 * US
+SECOND = 1_000 * MS
 
 
 def format_bytes(n: int) -> str:

@@ -1,0 +1,67 @@
+"""Survival analysis over synthetic AttackRunReport stand-ins."""
+
+from dataclasses import dataclass, field
+
+from repro.analysis.survival import (
+    attempts_to_success,
+    failure_breakdown,
+    mean_attempts,
+    survival_rate,
+    survival_summary,
+    survival_table,
+)
+
+
+@dataclass
+class FakeReport:
+    success: bool
+    failure_classes: list = field(default_factory=list)
+    attempts: int = 1
+    candidates_tried: int = 1
+    recoveries: tuple = ()
+
+
+WON = FakeReport(True, [], attempts=4)
+WON_HARD = FakeReport(True, ["steering-miss"], attempts=9, recoveries=("re-steer",))
+LOST = FakeReport(False, ["steering-miss", "budget-exhausted"], attempts=12)
+
+
+class TestAggregates:
+    def test_survival_rate(self):
+        assert survival_rate([]) == 0.0
+        assert survival_rate([WON, LOST]) == 0.5
+        assert survival_rate([WON, WON_HARD]) == 1.0
+
+    def test_failure_breakdown_counts_runs_not_retries(self):
+        breakdown = failure_breakdown([WON_HARD, LOST])
+        assert breakdown["steering-miss"] == 2
+        assert breakdown["budget-exhausted"] == 1
+
+    def test_breakdown_sorted_by_frequency(self):
+        keys = list(failure_breakdown([WON_HARD, LOST]).keys())
+        assert keys == ["steering-miss", "budget-exhausted"]
+
+    def test_attempts_to_success_only_counts_wins(self):
+        assert attempts_to_success([WON, WON_HARD, LOST]) == [4, 9]
+        assert mean_attempts([WON, WON_HARD, LOST]) == 6.5
+        assert mean_attempts([LOST]) is None
+
+    def test_summary_fields(self):
+        summary = survival_summary("steal", [WON, WON_HARD, LOST])
+        assert summary["runs"] == 3
+        assert summary["recovered"] == 2
+        assert summary["survival_rate"] == 2 / 3
+        assert summary["total_recoveries"] == 1
+
+
+class TestTable:
+    def test_renders_one_row_per_profile(self):
+        table = survival_table({"none": [WON], "steal": [WON_HARD, LOST]})
+        assert "none" in table
+        assert "steal" in table
+        assert "100%" in table
+        assert "50%" in table
+
+    def test_no_failures_renders_dash(self):
+        table = survival_table({"none": [WON]})
+        assert "-" in table

@@ -1,0 +1,151 @@
+"""Orchestrator: config validation, recovery under chaos, determinism."""
+
+import pytest
+
+from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
+from repro.attack.orchestrator import (
+    AttackOrchestrator,
+    FailureClass,
+    OrchestratorConfig,
+    RetryPolicy,
+)
+from repro.attack.templating import TemplatorConfig
+from repro.core.machine import Machine, MachineConfig
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.sim.chaos import ChaosEngine, chaos_profile
+from repro.sim.errors import ConfigError, TemplatingExhaustedError
+from repro.sim.units import MIB, MS
+
+FAST = TemplatorConfig(buffer_bytes=4 * MIB, rounds=650_000, batch_pairs=8)
+
+
+def vulnerable_machine(seed):
+    return Machine(
+        MachineConfig(
+            seed=seed,
+            geometry=DRAMGeometry.small(),
+            flip_model=FlipModelConfig.highly_vulnerable(),
+        )
+    )
+
+
+def make_attack(seed, chaos=None, intensity=1.0):
+    m = vulnerable_machine(seed)
+    if chaos is not None:
+        ChaosEngine(m.kernel, chaos_profile(chaos, intensity))
+    return ExplFrameAttack(m, config=ExplFrameConfig(templator=FAST))
+
+
+class TestPolicyAndConfig:
+    def test_backoff_is_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff_base_ns=10, backoff_factor=3.0)
+        assert [policy.backoff_ns(n) for n in range(3)] == [10, 30, 90]
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base_ns=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            OrchestratorConfig(deadline_ns=0)
+        with pytest.raises(ConfigError):
+            OrchestratorConfig(activation_budget=-1)
+        with pytest.raises(ConfigError):
+            OrchestratorConfig(campaign_budget=0)
+
+
+class TestRecovery:
+    def test_clean_run_succeeds_without_failures(self):
+        report = AttackOrchestrator(make_attack(7)).run()
+        assert report.success
+        assert report.failures == ()
+        assert report.final_failure is None
+        assert report.recovered_key == report.true_key
+
+    def test_recovers_from_stolen_frame(self):
+        # steal chaos defeats the single shot...
+        single = make_attack(7, chaos="steal").run()
+        assert not single.key_recovered
+        assert not single.steering_success
+        # ...but the orchestrator classifies the miss and re-steers.
+        report = AttackOrchestrator(make_attack(7, chaos="steal")).run()
+        assert report.success
+        assert FailureClass.STEERING_MISS.value in report.failure_classes
+
+    def test_recovers_from_trr_burst(self):
+        single = make_attack(7, chaos="trr").run()
+        assert not single.key_recovered
+        report = AttackOrchestrator(make_attack(7, chaos="trr")).run()
+        assert report.success
+        assert FailureClass.NON_REPEATABLE_FLIP.value in report.failure_classes
+
+    def test_recovers_from_migration_with_repin(self):
+        report = AttackOrchestrator(make_attack(7, chaos="migrate")).run()
+        assert report.success
+        assert any("repinned" in action for action in report.recoveries)
+
+    def test_every_failure_is_classified(self):
+        report = AttackOrchestrator(make_attack(7, chaos="storm")).run()
+        for record in report.timeline:
+            if record.outcome == "fail":
+                assert record.failure is not None
+                assert record.failure.failure_class in FailureClass
+
+    def test_deadline_budget_exhaustion(self):
+        attack = make_attack(7, chaos="steal")
+        config = OrchestratorConfig(deadline_ns=1 * MS)  # less than one campaign
+        report = AttackOrchestrator(attack, config).run()
+        assert not report.success
+        assert report.final_failure is not None
+        assert report.final_failure.failure_class is FailureClass.BUDGET_EXHAUSTED
+
+    def test_templating_exhaustion_is_terminal_and_classified(self):
+        m = Machine(
+            MachineConfig(
+                seed=0,
+                geometry=DRAMGeometry.small(),
+                flip_model=FlipModelConfig.invulnerable(),
+            )
+        )
+        attack = ExplFrameAttack(
+            m, config=ExplFrameConfig(templator=FAST, max_campaigns=1)
+        )
+        config = OrchestratorConfig(campaign_budget=1)
+        report = AttackOrchestrator(attack, config).run()
+        assert not report.success
+        assert report.final_failure.failure_class is FailureClass.TEMPLATING_EXHAUSTED
+
+    def test_report_timeline_is_ordered(self):
+        report = AttackOrchestrator(make_attack(7, chaos="steal")).run()
+        times = [record.start_ns for record in report.timeline]
+        assert times == sorted(times)
+
+
+class TestDeterminism:
+    def test_same_seed_same_profile_byte_identical_report(self):
+        first = AttackOrchestrator(make_attack(7, chaos="storm")).run().to_json()
+        second = AttackOrchestrator(make_attack(7, chaos="storm")).run().to_json()
+        assert first == second
+
+
+class TestTemplatingExhaustedError:
+    def test_raised_with_counts(self):
+        m = Machine(
+            MachineConfig(
+                seed=0,
+                geometry=DRAMGeometry.small(),
+                flip_model=FlipModelConfig.invulnerable(),
+            )
+        )
+        attack = ExplFrameAttack(
+            m, config=ExplFrameConfig(templator=FAST, max_campaigns=2)
+        )
+        with pytest.raises(TemplatingExhaustedError) as excinfo:
+            attack.template_until_usable()
+        assert excinfo.value.campaigns == 2
+        assert excinfo.value.flips_found == 0

@@ -20,6 +20,56 @@ class TestParser:
         assert args.cipher == "aes"
 
 
+class TestAttackCommand:
+    FAST = ["--buffer-mib", "4"]
+
+    def test_success_exits_zero(self, capsys):
+        assert main(["attack", "--seed", "7", *self.FAST]) == 0
+        assert "KEY RECOVERED:        True" in capsys.readouterr().out
+
+    def test_failure_exits_nonzero(self, capsys):
+        # An invulnerable module: templating finds nothing, recovery fails.
+        code = main(
+            ["attack", "--seed", "7", "--density", "0.0", "--campaigns", "1",
+             "--buffer-mib", "2"]
+        )
+        assert code == 1
+        assert "KEY RECOVERED:        False" in capsys.readouterr().out
+
+    def test_orchestrated_success_exits_zero(self, capsys):
+        code = main(["attack", "--seed", "7", "--chaos", "steal", *self.FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos profile:        steal" in out
+        assert "KEY RECOVERED:        True" in out
+
+    def test_orchestrated_failure_exits_nonzero(self, capsys):
+        code = main(
+            ["attack", "--seed", "7", "--density", "0.0", "--campaigns", "1",
+             "--buffer-mib", "2", "--orchestrate"]
+        )
+        assert code == 1
+        assert "templating-exhausted" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        import json
+
+        code = main(
+            ["attack", "--seed", "7", "--chaos", "steal", "--json", *self.FAST]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["success"] is True
+        assert report["chaos_profile"] == "steal"
+
+    def test_single_shot_under_chaos_fails(self, capsys):
+        code = main(
+            ["attack", "--seed", "7", "--chaos", "steal", "--single-shot", *self.FAST]
+        )
+        assert code == 1
+        assert "KEY RECOVERED:        False" in capsys.readouterr().out
+
+
 class TestSteerCommand:
     def test_same_cpu(self, capsys):
         assert main(["steer", "--trials", "3", "--seed", "1"]) == 0

@@ -1,0 +1,55 @@
+"""ConfigError validation paths for attack and defense configs."""
+
+import pytest
+
+from repro.attack.explframe import ExplFrameConfig
+from repro.defense.watchdog import WatchdogConfig
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE
+
+
+class TestExplFrameConfig:
+    def test_bad_cipher_rejected(self):
+        with pytest.raises(ConfigError, match="cipher"):
+            ExplFrameConfig(cipher="des")
+
+    def test_table_offset_overflow_rejected(self):
+        with pytest.raises(ConfigError, match="fit in a page"):
+            ExplFrameConfig(table_offset=PAGE_SIZE - 16)
+
+    def test_negative_table_offset_rejected(self):
+        with pytest.raises(ConfigError):
+            ExplFrameConfig(table_offset=-1)
+
+    def test_present_table_fits_where_aes_does_not(self):
+        # PRESENT's table is 16 bytes, so the same offset can be legal.
+        config = ExplFrameConfig(cipher="present", table_offset=PAGE_SIZE - 16)
+        assert config.table_size == 16
+
+    def test_nonpositive_pfa_budgets_rejected(self):
+        with pytest.raises(ConfigError):
+            ExplFrameConfig(pfa_batch=0)
+        with pytest.raises(ConfigError):
+            ExplFrameConfig(pfa_limit=0)
+        with pytest.raises(ConfigError):
+            ExplFrameConfig(pfa_batch=-5)
+
+    def test_nonpositive_campaigns_rejected(self):
+        with pytest.raises(ConfigError):
+            ExplFrameConfig(max_campaigns=0)
+
+
+class TestWatchdogConfig:
+    def test_defaults_valid(self):
+        config = WatchdogConfig()
+        assert config.threshold_per_window > 0
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(threshold_per_window=0)
+        with pytest.raises(ConfigError):
+            WatchdogConfig(threshold_per_window=-1)
+
+    def test_nonpositive_history_rejected(self):
+        with pytest.raises(ConfigError):
+            WatchdogConfig(history_windows=0)
