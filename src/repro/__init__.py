@@ -48,7 +48,24 @@ from repro.core import (
     TemplatingResult,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source default.
+
+    Reads importlib metadata so an installed wheel reports its real
+    version; from a source checkout (not installed) the module constant
+    is used.  Trace files record this as their producer version.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - ancient interpreters only
+        return __version__
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return __version__
 
 __all__ = [
     "EndToEndResult",
@@ -66,4 +83,5 @@ __all__ = [
     "Templator",
     "TemplatorConfig",
     "__version__",
+    "package_version",
 ]

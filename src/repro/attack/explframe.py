@@ -117,6 +117,31 @@ class ExplFrameAttack:
         self.total_flips = 0
         self.campaigns_run = 0
         self._retired_rounds = 0
+        self.obs = machine.obs
+        metrics = self.obs.metrics
+        self._m_campaigns = metrics.counter(
+            "attack.template.campaigns", unit="campaigns",
+            help="templating passes over fresh buffers",
+        )
+        self._m_flips = metrics.counter(
+            "attack.template.flips", unit="flips",
+            help="repeatable flips found while templating",
+        )
+        self._m_usable = metrics.counter(
+            "attack.template.usable", unit="templates",
+            help="templates armed against the victim table",
+        )
+        self._m_steer_attempts = metrics.counter(
+            "attack.steer.attempts", unit="attempts", help="steering rounds staged"
+        )
+        self._m_steer_hits = metrics.counter(
+            "attack.steer.successes", unit="attempts",
+            help="steering rounds where the victim received the staged frame",
+        )
+        self._m_ciphertexts = metrics.counter(
+            "attack.pfa.ciphertexts", unit="ciphertexts",
+            help="faulty ciphertexts consumed by fault analysis",
+        )
 
     @property
     def hammer_rounds_total(self) -> int:
@@ -164,10 +189,19 @@ class ExplFrameAttack:
 
     def run_templating_campaign(self) -> list[FlipTemplate]:
         """One templating pass; returns the usable templates it found."""
-        templating = self.templator.run()
-        self.total_flips += templating.flips_found
-        self.campaigns_run += 1
-        return self.usable_templates(templating.templates)
+        with self.obs.tracer.span(
+            "attack.template", "attack", campaign=self.campaigns_run
+        ) as span:
+            templating = self.templator.run()
+            self.total_flips += templating.flips_found
+            self.campaigns_run += 1
+            usable = self.usable_templates(templating.templates)
+            span.set("flips", templating.flips_found)
+            span.set("usable", len(usable))
+        self._m_campaigns.inc()
+        self._m_flips.inc(templating.flips_found)
+        self._m_usable.inc(len(usable))
+        return usable
 
     def template_until_usable(self, max_campaigns: int | None = None) -> list[FlipTemplate]:
         """Template over fresh buffers until a usable flip appears.
@@ -218,32 +252,43 @@ class ExplFrameAttack:
         allocation; for the T-table victim it must be the *second*, so a
         sacrificial frame is staged on top of it.
         """
-        victim = CipherVictim(
-            self.kernel,
-            self.true_key,
-            cpu=self.config.cpu,
-            cipher=self.config.cipher,
-            table_offset=self.config.table_offset,
-        )
-        staged_pfn = self.kernel.pfn_of(self.attacker.pid, template.page_va)
-        if self.config.cipher == "aes_ttable":
-            sacrificial_va = self._pick_sacrificial_page(template)
-            self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
-            self.kernel.sys_munmap(self.attacker.pid, sacrificial_va, PAGE_SIZE)
-        else:
-            self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
-        # The attacker stays active; the victim's small allocations come
-        # straight off the shared CPU's page frame cache in LIFO order.
-        landed_pfn = victim.allocate_table_page()
-        steering_success = landed_pfn == staged_pfn
+        with self.obs.tracer.span("attack.steer", "attack") as span:
+            victim = CipherVictim(
+                self.kernel,
+                self.true_key,
+                cpu=self.config.cpu,
+                cipher=self.config.cipher,
+                table_offset=self.config.table_offset,
+            )
+            staged_pfn = self.kernel.pfn_of(self.attacker.pid, template.page_va)
+            if self.config.cipher == "aes_ttable":
+                sacrificial_va = self._pick_sacrificial_page(template)
+                self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
+                self.kernel.sys_munmap(self.attacker.pid, sacrificial_va, PAGE_SIZE)
+            else:
+                self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
+            # The attacker stays active; the victim's small allocations come
+            # straight off the shared CPU's page frame cache in LIFO order.
+            landed_pfn = victim.allocate_table_page()
+            steering_success = landed_pfn == staged_pfn
+            span.set("staged_pfn", staged_pfn)
+            span.set("success", steering_success)
+        self._m_steer_attempts.inc()
+        if steering_success:
+            self._m_steer_hits.inc()
         return victim, staged_pfn, steering_success
 
     def rehammer(self, template: FlipTemplate, victim: CipherVictim) -> bool:
         """Hammer the template's aggressors until the victim table faults."""
-        for _ in range(self.config.rehammer_attempts):
-            self.templator.hammerer.hammer_pair(*template.aggressor_vas)
-            if victim.table_is_faulty():
-                return True
+        with self.obs.tracer.span("attack.rehammer", "attack") as span:
+            for attempt in range(self.config.rehammer_attempts):
+                self.templator.hammerer.hammer_pair(*template.aggressor_vas)
+                if victim.table_is_faulty():
+                    span.set("attempts", attempt + 1)
+                    span.set("faulted", True)
+                    return True
+            span.set("attempts", self.config.rehammer_attempts)
+            span.set("faulted", False)
         return False
 
     # -- stage 4: fault analysis ----------------------------------------------------
@@ -328,9 +373,17 @@ class ExplFrameAttack:
     ) -> tuple[bytes | None, int, float]:
         """Stage-4 dispatch: run the right PFA variant for the cipher."""
         v_star = self.v_star_for(template)
-        if self.config.cipher == "present":
-            return self.run_pfa_present(victim, v_star, limit)
-        return self.run_pfa(victim, v_star, limit)
+        with self.obs.tracer.span(
+            "attack.pfa", "attack", cipher=self.config.cipher
+        ) as span:
+            if self.config.cipher == "present":
+                result = self.run_pfa_present(victim, v_star, limit)
+            else:
+                result = self.run_pfa(victim, v_star, limit)
+            span.set("ciphertexts", result[1])
+            span.set("recovered", result[0] is not None)
+        self._m_ciphertexts.inc(result[1])
+        return result
 
     def target_key(self) -> bytes:
         """The key material a successful run must recover."""
@@ -353,6 +406,10 @@ class ExplFrameAttack:
         wraps the same stages with retries, budgets and forensics.
         """
         start_ns = self.kernel.clock.now_ns
+        with self.obs.tracer.span("attack.run", "attack", cipher=self.config.cipher):
+            return self._run(start_ns)
+
+    def _run(self, start_ns: int) -> EndToEndResult:
         try:
             usable = self.template_until_usable()
         except TemplatingExhaustedError:

@@ -256,6 +256,31 @@ class AttackOrchestrator:
         self._recoveries: list[str] = []
         self._stage_attempts: dict[str, int] = {}
         self._start_ns = 0
+        self.obs = attack.obs
+        metrics = self.obs.metrics
+        self._m_attempts = {
+            stage: metrics.counter(
+                "attack.stage.attempts", labels={"stage": stage},
+                unit="attempts", help="stage attempts by stage name",
+            )
+            for stage in ("template", "steer", "rehammer", "pfa", "budget")
+        }
+        self._m_failures = {
+            failure_class.value: metrics.counter(
+                "attack.stage.failures", labels={"class": failure_class.value},
+                unit="failures", help="classified stage failures",
+            )
+            for failure_class in FailureClass
+        }
+        self._m_recoveries = metrics.counter(
+            "attack.recoveries", unit="recoveries",
+            help="recovery strategies applied between attempts",
+        )
+        self._m_stage_dur = metrics.histogram(
+            "attack.stage.duration_ns",
+            buckets=(MS, 10 * MS, 100 * MS, SECOND, 10 * SECOND, 100 * SECOND),
+            unit="ns", help="sim-time duration of each stage attempt",
+        )
 
     # -- bookkeeping -------------------------------------------------------------
 
@@ -273,16 +298,32 @@ class AttackOrchestrator:
             self._failures.append(failure)
         if recovery is not None:
             self._recoveries.append(recovery)
+        end_ns = self.kernel.clock.now_ns
         self._timeline.append(
             AttemptRecord(
                 stage=stage,
                 attempt=attempt,
                 start_ns=start_ns,
-                end_ns=self.kernel.clock.now_ns,
+                end_ns=end_ns,
                 outcome="ok" if failure is None else "fail",
                 failure=failure,
                 recovery=recovery,
             )
+        )
+        self._m_attempts[stage].inc()
+        self._m_stage_dur.observe(end_ns - start_ns)
+        if failure is not None:
+            self._m_failures[failure.failure_class.value].inc()
+        if recovery is not None:
+            self._m_recoveries.inc()
+        # The attempt is only known once it finished, so the span is
+        # emitted retroactively with explicit begin/end stamps.
+        self.obs.tracer.complete(
+            "attack.attempt", "attack", start_ns, end_ns,
+            stage=stage, attempt=attempt,
+            outcome="ok" if failure is None else "fail",
+            failure=None if failure is None else failure.failure_class.value,
+            recovery=recovery,
         )
 
     def _blown_budget(self) -> StageFailure | None:
@@ -336,6 +377,13 @@ class AttackOrchestrator:
 
     def run(self) -> AttackRunReport:
         """Drive template → steer → re-hammer → PFA to success or exhaustion."""
+        with self.obs.tracer.span("attack.orchestrate", "attack") as span:
+            report = self._run()
+            span.set("success", report.success)
+            span.set("attempts", report.attempts)
+        return report
+
+    def _run(self) -> AttackRunReport:
         attack = self.attack
         self._start_ns = self.kernel.clock.now_ns
         candidates: deque[FlipTemplate] = deque()

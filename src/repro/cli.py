@@ -23,6 +23,34 @@ def _add_seed(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="machine seed (default 7)")
 
 
+def _emit_observability(machine, args, json_mode: bool) -> None:
+    """Write ``--trace`` output and print the ``--metrics`` table.
+
+    In JSON mode the metrics go into the report payload instead of a
+    table, and the trace confirmation goes to stderr so stdout stays
+    machine-parseable.
+    """
+    if args.trace:
+        from repro import package_version
+
+        tracer = machine.obs.tracer
+        tracer.write(
+            args.trace,
+            fmt=args.trace_format,
+            producer=f"repro {package_version()}",
+        )
+        stream = sys.stderr if json_mode else sys.stdout
+        print(
+            f"trace written to {args.trace} "
+            f"({args.trace_format}, {len(tracer.records)} records, "
+            f"{len(tracer.categories())} layers)",
+            file=stream,
+        )
+    if args.metrics and not json_mode:
+        print()
+        print(machine.obs.metrics.render_table())
+
+
 def _vulnerable_machine(seed: int, density: float):
     from repro.core import Machine, MachineConfig
     from repro.dram.flipmodel import FlipModelConfig
@@ -62,7 +90,13 @@ def cmd_attack(args: argparse.Namespace) -> int:
     from repro.sim.units import SECOND
 
     machine = _vulnerable_machine(args.seed, args.density)
-    if args.chaos != "none":
+    if args.trace:
+        machine.obs.tracer.enable()
+    # A chaos engine is attached whenever chaos is requested, and also for
+    # traced runs so the chaos layer always announces its plan in the
+    # trace ("none" is the empty plan: the pump stays a no-op and the
+    # simulation is bit-identical to an engine-less run).
+    if args.chaos != "none" or args.trace:
         ChaosEngine(machine.kernel, chaos_profile(args.chaos, args.chaos_intensity))
     config = ExplFrameConfig(
         cipher=args.cipher,
@@ -73,7 +107,11 @@ def cmd_attack(args: argparse.Namespace) -> int:
     )
     attack = ExplFrameAttack(machine, config=config)
 
-    orchestrate = (args.orchestrate or args.chaos != "none") and not args.single_shot
+    # --json reports the orchestrator's AttackRunReport, so it implies
+    # orchestration (like --chaos); --single-shot still wins.
+    orchestrate = (
+        args.orchestrate or args.chaos != "none" or args.json
+    ) and not args.single_shot
     if orchestrate:
         retries = args.max_retries
         orchestrator = AttackOrchestrator(
@@ -88,7 +126,12 @@ def cmd_attack(args: argparse.Namespace) -> int:
         )
         report = orchestrator.run()
         if args.json:
-            print(report.to_json())
+            import json
+
+            payload = report.to_dict()
+            payload["metrics"] = machine.obs.metrics.snapshot()
+            _emit_observability(machine, args, json_mode=True)
+            print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
             return 0 if report.success else 1
         spend = report.budget
         print(f"chaos profile:        {report.chaos_profile}")
@@ -113,6 +156,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         print(f"true key:             {report.true_key}")
         print(f"recovered key:        {report.recovered_key or '-'}")
         print(f"KEY RECOVERED:        {report.success}")
+        _emit_observability(machine, args, json_mode=False)
         return 0 if report.success else 1
 
     result = attack.run()
@@ -126,6 +170,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
     if result.log2_keyspace_after_pfa:
         print(f"residual key bits:    {result.log2_keyspace_after_pfa:.0f}")
     print(f"KEY RECOVERED:        {result.key_recovered}")
+    _emit_observability(machine, args, json_mode=False)
     return 0 if result.key_recovered else 1
 
 
@@ -250,9 +295,17 @@ def cmd_procfs(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one subcommand per entry point)."""
+    from repro import package_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ExplFrame reproduction: attacks and diagnostics on a simulated machine",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -295,7 +348,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=4, help="per-stage retry attempts"
     )
     attack.add_argument(
-        "--json", action="store_true", help="print the AttackRunReport as JSON"
+        "--json",
+        action="store_true",
+        help="print the AttackRunReport as JSON (implies --orchestrate)",
+    )
+    attack.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a sim-time trace of the run to FILE",
+    )
+    attack.add_argument(
+        "--trace-format",
+        choices=["chrome", "jsonl"],
+        default="chrome",
+        help="trace file format: chrome://tracing JSON (default) or JSON-lines",
+    )
+    attack.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics table after the run",
     )
     attack.set_defaults(func=cmd_attack)
 

@@ -36,6 +36,10 @@ class MachineConfig:
     zone_layout: ZoneLayout = field(default_factory=ZoneLayout)
     pcp: PcpConfig = field(default_factory=PcpConfig)
     cache: CpuCacheConfig = field(default_factory=CpuCacheConfig)
+    #: Keep the per-machine MetricsRegistry live.  The registry is cheap
+    #: enough to leave on (see docs/OBSERVABILITY.md); benchmarks flip
+    #: this off to measure instrumentation overhead (experiment A7).
+    metrics_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.num_cpus <= 0:

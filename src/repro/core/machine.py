@@ -10,6 +10,7 @@ from repro.mm.allocator import ZonedPageFrameAllocator
 from repro.mm.node import NumaNode
 from repro.mm.page import FrameTable
 from repro.mm.reclaim import Kswapd
+from repro.obs import Observability
 from repro.os.kernel import Kernel
 from repro.os.scheduler import Scheduler
 from repro.sim.clock import SimClock
@@ -28,6 +29,9 @@ class Machine:
         self.config = config or MachineConfig()
         self.rng = RngStreams(self.config.seed)
         self.clock = SimClock()
+        self.obs = Observability(
+            self.clock, metrics_enabled=self.config.metrics_enabled
+        )
 
         geometry = self.config.geometry
         self.mapping = make_mapping(self.config.mapping, geometry)
@@ -77,6 +81,37 @@ class Machine:
             scheduler=self.scheduler,
             kswapd=self.kswapd,
         )
+
+        self.controller.bind_obs(self.obs)
+        self.allocator.bind_obs(self.obs)
+        self.scheduler.bind_obs(self.obs)
+        self.kernel.bind_obs(self.obs)
+        self._register_cache_metrics()
+
+    def _register_cache_metrics(self) -> None:
+        """CPU-cache counters, sourced at snapshot time (hot path untouched)."""
+        metrics = self.obs.metrics
+        hits = metrics.gauge(
+            "cpu_cache.hits", unit="accesses", help="CPU cache hits"
+        )
+        misses = metrics.gauge(
+            "cpu_cache.misses", unit="accesses", help="CPU cache misses"
+        )
+        flushes = metrics.gauge(
+            "cpu_cache.flushes", unit="lines", help="clflush evictions"
+        )
+        sim_now = metrics.gauge(
+            "sim.clock_ns", unit="ns", help="current simulated time"
+        )
+        cache, clock = self.cache, self.clock
+
+        def _collect() -> None:
+            hits.set(cache.hits)
+            misses.set(cache.misses)
+            flushes.set(cache.flushes)
+            sim_now.set(clock.now_ns)
+
+        metrics.add_collector(_collect)
 
     @property
     def num_cpus(self) -> int:

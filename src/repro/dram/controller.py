@@ -34,6 +34,7 @@ from repro.dram.geometry import DRAMAddress, DRAMGeometry
 from repro.dram.mapping import AddressMapping
 from repro.dram.memory import PhysicalMemory
 from repro.dram.timing import DRAMTiming
+from repro.obs import NOOP_OBS
 from repro.sim.clock import SimClock
 from repro.sim.errors import ConfigError
 from repro.sim.rng import RngStreams
@@ -128,6 +129,76 @@ class MemoryController:
         # Victim rows checked per flip evaluation: +-1 always, +-2 when the
         # distance-2 coupling is non-zero.
         self._max_coupling_distance = 2 if flip_config.coupling_distance2 > 0 else 1
+        self.bind_obs(NOOP_OBS)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (see docs/OBSERVABILITY.md).
+
+        Live instrumentation only touches moderate-rate paths (hammer
+        calls, refresh rollovers, flip events); per-access totals are
+        sourced from the existing bank counters by a snapshot-time
+        collector so :meth:`access` stays uninstrumented.
+        """
+        self.obs = obs
+        metrics = obs.metrics
+        self._m_refresh = metrics.counter(
+            "dram.refresh.windows", unit="windows",
+            help="refresh-window rollovers (bank activation counters reset)",
+        )
+        self._m_flips = metrics.counter(
+            "dram.flips", unit="flips", help="disturbance bit flips applied"
+        )
+        self._m_hammer_calls = metrics.counter(
+            "dram.hammer.calls", unit="calls", help="hammer fast-path invocations"
+        )
+        self._m_hammer_rounds = metrics.counter(
+            "dram.hammer.rounds", unit="rounds", help="hammer rounds executed"
+        )
+        self._m_hammer_acts = metrics.histogram(
+            "dram.hammer.activations_per_call",
+            buckets=(0, 100, 1_000, 10_000, 100_000, 1_000_000),
+            unit="activations", help="activation count of each hammer call",
+        )
+        acts = metrics.gauge(
+            "dram.activations", unit="activations",
+            help="lifetime row activations across banks",
+        )
+        hits = metrics.gauge(
+            "dram.row_buffer.hits", unit="accesses",
+            help="accesses served from an open row",
+        )
+        banks = metrics.gauge(
+            "dram.banks_touched", unit="banks", help="banks with live state"
+        )
+        trr_refreshes = metrics.gauge(
+            "dram.trr.neighbor_refreshes", unit="rows",
+            help="TRR victim-row refreshes",
+        )
+        trr_misses = metrics.gauge(
+            "dram.trr.tracker_misses", unit="events",
+            help="aggressors evicted from the TRR tracker unsampled",
+        )
+        ecc_corrected = metrics.gauge(
+            "dram.ecc.corrected_bits", unit="bits", help="bits ECC corrected away"
+        )
+        ecc_uncorrectable = metrics.gauge(
+            "dram.ecc.uncorrectable_events", unit="events",
+            help="multi-bit words ECC let through",
+        )
+
+        def _collect() -> None:
+            stats = self.stats()
+            acts.set(stats["activations"])
+            hits.set(stats["row_hits"])
+            banks.set(stats["banks_touched"])
+            trr = self.trr_stats()
+            trr_refreshes.set(trr["neighbor_refreshes"])
+            trr_misses.set(trr["tracker_misses"])
+            ecc = self.ecc_stats()
+            ecc_corrected.set(ecc["corrected_bits"])
+            ecc_uncorrectable.set(ecc["uncorrectable_events"])
+
+        metrics.add_collector(_collect)
 
     # -- bank/refresh plumbing ---------------------------------------------
 
@@ -174,6 +245,8 @@ class MemoryController:
                 bank.refresh()
             self._refresh_epoch = epoch
             self.refresh_count += 1
+            self._m_refresh.inc()
+            self.obs.tracer.instant("dram.refresh", "dram", epoch=epoch)
 
     def current_refresh_epoch(self) -> int:
         """Index of the refresh window containing the current time."""
@@ -248,6 +321,11 @@ class MemoryController:
                 )
                 self.flip_log.append(event)
                 flips.append(event)
+                self._m_flips.inc()
+                self.obs.tracer.instant(
+                    "dram.flip", "dram",
+                    phys_addr=flip_addr, bit=flip_bit, row=victim_row,
+                )
         return flips
 
     def _evaluate_around(self, key: tuple[int, int, int], aggressor_rows: set[int]) -> list[FlipEvent]:
@@ -302,6 +380,19 @@ class MemoryController:
             raise ConfigError(f"rounds must be positive, got {rounds}")
         if not phys_addrs:
             raise ConfigError("hammer needs at least one address")
+        span = self.obs.tracer.span(
+            "dram.hammer", "dram", addresses=len(phys_addrs), rounds=rounds
+        )
+        with span:
+            result = self._hammer(phys_addrs, rounds)
+            span.set("activations", result.activations)
+            span.set("flips", len(result.flips))
+        self._m_hammer_calls.inc()
+        self._m_hammer_rounds.inc(rounds)
+        self._m_hammer_acts.observe(result.activations)
+        return result
+
+    def _hammer(self, phys_addrs: list[int], rounds: int) -> HammerResult:
         self._maybe_refresh()
 
         dram_addrs = [self.mapping.to_dram(p) for p in phys_addrs]

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.mm.node import NumaNode
 from repro.mm.reclaim import Kswapd
 from repro.mm.zone import Zone, ZoneType
+from repro.obs import NOOP_OBS
 from repro.sim.errors import AllocationError, ConfigError, OutOfMemoryError
 
 
@@ -69,6 +70,91 @@ class ZonedPageFrameAllocator:
         self.buddy_allocs = 0
         self.failed_allocs = 0
         self.remote_node_allocs = 0
+        self.bind_obs(NOOP_OBS)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (see docs/OBSERVABILITY.md).
+
+        The PCP hit/miss split is counted live at allocation time (a hit
+        is an order-0 request finding its CPU cache non-empty); everything
+        driven by the substrate's own counters — refills, spills, buddy
+        split/merge totals, kswapd activity — is collector-sourced.
+        """
+        self.obs = obs
+        metrics = obs.metrics
+        self._m_pcp_hit = metrics.counter(
+            "mm.pcp.hits", unit="allocations",
+            help="order-0 allocations served from a non-empty per-CPU cache",
+        )
+        self._m_pcp_miss = metrics.counter(
+            "mm.pcp.misses", unit="allocations",
+            help="order-0 allocations that forced a PCP refill from the buddy",
+        )
+        self._m_buddy = metrics.counter(
+            "mm.buddy.direct_allocs", unit="allocations",
+            help="allocations routed straight to the buddy (order>0 or PCP bypass)",
+        )
+        self._m_failed = metrics.counter(
+            "mm.alloc.failures", unit="allocations",
+            help="requests no zone of any node could satisfy",
+        )
+        self._m_drains = metrics.counter(
+            "mm.pcp.drains", unit="calls", help="explicit PCP drain operations"
+        )
+        self._m_drained = metrics.counter(
+            "mm.pcp.drained_frames", unit="frames",
+            help="frames returned to the buddy by drains",
+        )
+        free = metrics.gauge(
+            "mm.free_pages", unit="frames", help="free frames across all nodes"
+        )
+        served = metrics.gauge(
+            "mm.pcp.served_from_cache", unit="allocations",
+            help="PCP allocations served without touching the buddy",
+        )
+        refills = metrics.gauge(
+            "mm.pcp.refills", unit="batches", help="PCP batch refills from the buddy"
+        )
+        spills = metrics.gauge(
+            "mm.pcp.spills", unit="batches",
+            help="PCP overflows spilled back to the buddy",
+        )
+        splits = metrics.gauge(
+            "mm.buddy.splits", unit="blocks", help="buddy block splits"
+        )
+        merges = metrics.gauge(
+            "mm.buddy.merges", unit="blocks", help="buddy block coalesces"
+        )
+        kswapd_wakes = metrics.gauge(
+            "mm.kswapd.wakeups", unit="wakeups", help="kswapd wake requests"
+        )
+        kswapd_runs = metrics.gauge(
+            "mm.kswapd.runs", unit="runs", help="kswapd reclaim passes"
+        )
+        kswapd_reclaimed = metrics.gauge(
+            "mm.kswapd.reclaimed_pages", unit="frames",
+            help="frames reclaimed by kswapd",
+        )
+
+        def _collect() -> None:
+            stats = self.stats()
+            free.set(stats["free_pages"])
+            served.set(stats["pcp_served_from_cache"])
+            refills.set(stats["pcp_refills"])
+            spills.set(stats["pcp_spills"])
+            split_total = merge_total = 0
+            for node in self.nodes:
+                for zone in node.zones.values():
+                    split_total += zone.buddy.split_count
+                    merge_total += zone.buddy.merge_count
+            splits.set(split_total)
+            merges.set(merge_total)
+            if self.kswapd is not None:
+                kswapd_wakes.set(self.kswapd.wake_count)
+                kswapd_runs.set(self.kswapd.runs)
+                kswapd_reclaimed.set(self.kswapd.reclaimed_pages)
+
+        metrics.add_collector(_collect)
 
     @property
     def node(self) -> NumaNode:
@@ -139,6 +225,7 @@ class ZonedPageFrameAllocator:
                 self._maybe_wake_kswapd(zone)
                 return pfn
         self.failed_allocs += 1
+        self._m_failed.inc()
         raise OutOfMemoryError(
             f"order-{request.order} allocation failed in every zone of every "
             f"node (preferred {request.preferred_zone.value})"
@@ -146,7 +233,15 @@ class ZonedPageFrameAllocator:
 
     def _alloc_from_zone(self, zone: Zone, request: AllocationRequest, stamp: int) -> int:
         if request.order == 0 and request.use_pcp:
-            pfn = zone.pcp(request.cpu).alloc(owner_pid=request.owner_pid, stamp=stamp)
+            pcp = zone.pcp(request.cpu)
+            if pcp.count:
+                self._m_pcp_hit.inc()
+            else:
+                self._m_pcp_miss.inc()
+                self.obs.tracer.instant(
+                    "mm.pcp.refill", "mm", zone=zone.name, cpu=request.cpu
+                )
+            pfn = pcp.alloc(owner_pid=request.owner_pid, stamp=stamp)
             self.pcp_allocs += 1
             return pfn
         if not zone.watermark_ok(request.order):
@@ -155,6 +250,10 @@ class ZonedPageFrameAllocator:
             )
         pfn = zone.buddy.alloc(request.order, owner_pid=request.owner_pid, stamp=stamp)
         self.buddy_allocs += 1
+        self._m_buddy.inc()
+        self.obs.tracer.instant(
+            "mm.buddy.alloc", "mm", zone=zone.name, order=request.order
+        )
         return pfn
 
     def alloc_page(
@@ -208,11 +307,15 @@ class ZonedPageFrameAllocator:
 
     def drain_cpu_caches(self, cpu: int) -> int:
         """Drain ``cpu``'s page frame cache in every zone of every node."""
-        return sum(
+        drained = sum(
             zone.drain_pcp(cpu)
             for node in self.nodes
             for zone in node.zones.values()
         )
+        self._m_drains.inc()
+        self._m_drained.inc(drained)
+        self.obs.tracer.instant("mm.pcp.drain", "mm", cpu=cpu, frames=drained)
+        return drained
 
     # -- inspection ---------------------------------------------------------------
 

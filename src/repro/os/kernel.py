@@ -35,6 +35,7 @@ from repro.mm.allocator import AllocationRequest, ZonedPageFrameAllocator
 from repro.mm.reclaim import Kswapd
 from repro.mm.zone import ZoneType
 from repro.defense.watchdog import ActivationLedger
+from repro.obs import NOOP_OBS
 from repro.os.capabilities import CapabilitySet
 from repro.os.pagecache import PageCache
 from repro.os.scheduler import Scheduler
@@ -94,6 +95,51 @@ class Kernel:
         # well-defined syscall hooks pump it so adversity events fire
         # deterministically inside the simulation, not around it.
         self.chaos = None
+        self.bind_obs(NOOP_OBS)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (see docs/OBSERVABILITY.md).
+
+        Syscalls are counted live per call name (they are orders of
+        magnitude rarer than memory accesses); the memory access path
+        itself (:meth:`_touch_lines`) stays uninstrumented — its totals
+        are collector-sourced from :class:`KernelStats`.
+        """
+        self.obs = obs
+        metrics = obs.metrics
+        sys_counter = metrics.counter  # registered per label below
+        self._m_sys_mmap = sys_counter(
+            "os.syscalls", labels={"call": "mmap"}, unit="calls",
+            help="syscall invocations by call name",
+        )
+        self._m_sys_munmap = sys_counter("os.syscalls", labels={"call": "munmap"})
+        self._m_sys_sleep = sys_counter("os.syscalls", labels={"call": "sleep"})
+        self._m_sys_affinity = sys_counter(
+            "os.syscalls", labels={"call": "sched_setaffinity"}
+        )
+        self._m_sys_clflush = sys_counter("os.syscalls", labels={"call": "clflush"})
+        self._m_sys_hammer = sys_counter("os.syscalls", labels={"call": "hammer"})
+        self._m_sys_file_read = sys_counter(
+            "os.syscalls", labels={"call": "file_read"}
+        )
+        self._m_faults = metrics.counter(
+            "os.page_faults", unit="faults", help="write faults served"
+        )
+        self._m_spawns = metrics.counter(
+            "os.tasks.spawned", unit="tasks", help="tasks created"
+        )
+        frames_freed = metrics.gauge(
+            "os.frames_freed", unit="frames", help="frames released by munmap/exit"
+        )
+        syscalls_total = metrics.gauge(
+            "os.syscalls_total", unit="calls", help="syscalls across all call names"
+        )
+
+        def _collect() -> None:
+            frames_freed.set(self.stats.frames_freed)
+            syscalls_total.set(self.stats.syscalls)
+
+        metrics.add_collector(_collect)
 
     def _pump_chaos(self, hook: str, pid: int) -> None:
         if self.chaos is not None:
@@ -106,7 +152,8 @@ class Kernel:
     def _maybe_run_kswapd(self) -> None:
         """Run pending reclaim work (synchronous stand-in for the daemon)."""
         if self.kswapd is not None and self.kswapd.pending_zones():
-            self.kswapd.run()
+            with self.obs.tracer.span("mm.kswapd.run", "mm") as span:
+                span.set("reclaimed", self.kswapd.run())
 
     # -- process management ---------------------------------------------------
 
@@ -127,6 +174,7 @@ class Kernel:
         task = Task(pid=pid, name=name, cpu=chosen, allowed_cpus=allowed, caps=caps)
         self.tasks[pid] = task
         self.scheduler.place(task)
+        self._m_spawns.inc()
         self._pump_chaos("spawn", pid)
         return task
 
@@ -158,11 +206,16 @@ class Kernel:
         task = self.task(pid)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._m_sys_affinity.inc()
         if not cpus:
             raise ConfigError("affinity mask must not be empty")
         task.allowed_cpus = frozenset(cpus)
         if task.cpu not in task.allowed_cpus:
+            old_cpu = task.cpu
             self.scheduler.migrate(task, self.scheduler.pick_cpu(task.allowed_cpus))
+            self.obs.tracer.instant(
+                "os.migrate", "os", pid=pid, from_cpu=old_cpu, to_cpu=task.cpu
+            )
 
     def sys_sleep(self, pid: int) -> int:
         """Put a task to sleep; drains its CPU's page frame caches.
@@ -175,6 +228,7 @@ class Kernel:
         task = self.task(pid)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._m_sys_sleep.inc()
         self._pump_chaos("sleep", pid)
         if task.state is TaskState.SLEEPING:
             return 0
@@ -205,14 +259,18 @@ class Kernel:
         task.syscall_count += 1
         self.stats.syscalls += 1
         self.stats.mmap_calls += 1
+        self._m_sys_mmap.inc()
         self._pump_chaos("mmap", pid)
-        flags = VmaFlags.ANONYMOUS
-        if populate:
-            flags |= VmaFlags.POPULATE
-        vma = task.mm.mmap(length, prot=prot, flags=flags, name=name)
-        if populate:
-            for va in vma.page_addresses():
-                self._fault_in(task, va)
+        with self.obs.tracer.span(
+            "os.mmap", "os", pid=pid, pages=length // PAGE_SIZE or 1
+        ):
+            flags = VmaFlags.ANONYMOUS
+            if populate:
+                flags |= VmaFlags.POPULATE
+            vma = task.mm.mmap(length, prot=prot, flags=flags, name=name)
+            if populate:
+                for va in vma.page_addresses():
+                    self._fault_in(task, va)
         return vma.start
 
     def sys_munmap(self, pid: int, va: int, length: int) -> int:
@@ -226,16 +284,19 @@ class Kernel:
         task.syscall_count += 1
         self.stats.syscalls += 1
         self.stats.munmap_calls += 1
-        # Two pump points bracket the free: "munmap-pre" fires before any
-        # frame moves (a migration here sends the frames to another CPU's
-        # cache), "munmap" fires after they landed (pressure here buries
-        # them under competitor churn).
-        self._pump_chaos("munmap-pre", pid)
-        detached = task.mm.munmap(va, length)
-        for _, pfn in detached:
-            self.allocator.free_pages(pfn, 0, cpu=task.cpu)
-            self.stats.frames_freed += 1
-        self._pump_chaos("munmap", pid)
+        self._m_sys_munmap.inc()
+        with self.obs.tracer.span("os.munmap", "os", pid=pid) as span:
+            # Two pump points bracket the free: "munmap-pre" fires before any
+            # frame moves (a migration here sends the frames to another CPU's
+            # cache), "munmap" fires after they landed (pressure here buries
+            # them under competitor churn).
+            self._pump_chaos("munmap-pre", pid)
+            detached = task.mm.munmap(va, length)
+            for _, pfn in detached:
+                self.allocator.free_pages(pfn, 0, cpu=task.cpu)
+                self.stats.frames_freed += 1
+            self._pump_chaos("munmap", pid)
+            span.set("frames", len(detached))
         return len(detached)
 
     # -- demand paging ----------------------------------------------------------
@@ -269,6 +330,7 @@ class Kernel:
         task.minor_faults += 1
         self.stats.page_faults += 1
         self.stats.frames_faulted_in += 1
+        self._m_faults.inc()
         return pfn
 
     def resolve_pa(self, pid: int, va: int, *, fault: bool = False) -> int:
@@ -364,6 +426,7 @@ class Kernel:
         task = self.task(pid)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._m_sys_clflush.inc()
         line = self.cache.config.line_size
         pa = self.resolve_pa(pid, va)
         first = (pa // line) * line
@@ -397,6 +460,7 @@ class Kernel:
         self._require_running(task)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._m_sys_hammer.inc()
         self._pump_chaos("hammer", pid)
         pas = []
         for va in vas:
@@ -447,6 +511,7 @@ class Kernel:
         self._require_running(task)
         task.syscall_count += 1
         self.stats.syscalls += 1
+        self._m_sys_file_read.inc()
         if self.page_cache is None:
             raise ConfigError("this kernel was built without a page cache")
         self._maybe_run_kswapd()

@@ -10,6 +10,7 @@ model CPU co-residency (the attack's key precondition) and its absence.
 
 from __future__ import annotations
 
+from repro.obs import NOOP_OBS
 from repro.os.task import Task, TaskState
 from repro.sim.errors import ConfigError
 
@@ -23,6 +24,15 @@ class Scheduler:
         self.num_cpus = num_cpus
         self._cpu_tasks: list[list[int]] = [[] for _ in range(num_cpus)]
         self.migrations = 0
+        self.bind_obs(NOOP_OBS)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (see docs/OBSERVABILITY.md)."""
+        self.obs = obs
+        self._m_migrations = obs.metrics.counter(
+            "os.sched.migrations", unit="migrations",
+            help="tasks moved between CPUs",
+        )
 
     def _check_cpu(self, cpu: int) -> None:
         if not 0 <= cpu < self.num_cpus:
@@ -72,6 +82,7 @@ class Scheduler:
         else:
             task.cpu = new_cpu
         self.migrations += 1
+        self._m_migrations.inc()
 
     def load(self, cpu: int) -> int:
         """Number of runnable tasks on ``cpu``."""

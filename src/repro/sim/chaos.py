@@ -349,6 +349,17 @@ class ChaosEngine:
         self._refresh_windows: list[tuple[int, float]] = []
         self._competitors: dict[int, int] = {}  # cpu -> competitor pid
         kernel.chaos = self
+        self.obs = kernel.obs
+        self._m_fired = self.obs.metrics.counter(
+            "chaos.events_fired", unit="events",
+            help="chaos events that actually fired",
+        )
+        self._m_pumps = self.obs.metrics.counter(
+            "chaos.pumps", unit="calls", help="kernel pump-point visits"
+        )
+        self.obs.tracer.instant(
+            "chaos.plan", "chaos", plan=plan.name, events=len(plan.events)
+        )
 
     # -- effect plumbing (used by events) ---------------------------------------
 
@@ -401,6 +412,7 @@ class ChaosEngine:
         if self._pumping:
             return
         self._pumping = True
+        self._m_pumps.inc()
         try:
             now = self.kernel.clock.now_ns
             if self._threshold_windows or self._refresh_windows:
@@ -426,6 +438,11 @@ class ChaosEngine:
                         event=type(event).__name__,
                         detail=detail,
                     )
+                )
+                self._m_fired.inc()
+                self.obs.tracer.instant(
+                    "chaos.fire", "chaos",
+                    event=type(event).__name__, hook=hook, pid=pid, detail=detail,
                 )
         finally:
             self._pumping = False

@@ -1,5 +1,8 @@
 """CLI smoke tests (each command exercised through main())."""
 
+import json
+import re
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +21,14 @@ class TestParser:
         args = build_parser().parse_args(["attack"])
         assert args.seed == 7
         assert args.cipher == "aes"
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        # Loose match: an installed wheel may report its own metadata
+        # version rather than the source tree's constant.
+        assert re.match(r"repro \d+\.\d+", capsys.readouterr().out)
 
 
 class TestAttackCommand:
@@ -52,8 +63,6 @@ class TestAttackCommand:
         assert "templating-exhausted" in capsys.readouterr().out
 
     def test_json_report(self, capsys):
-        import json
-
         code = main(
             ["attack", "--seed", "7", "--chaos", "steal", "--json", *self.FAST]
         )
@@ -61,6 +70,49 @@ class TestAttackCommand:
         report = json.loads(capsys.readouterr().out)
         assert report["success"] is True
         assert report["chaos_profile"] == "steal"
+
+    def test_json_report_carries_metrics(self, capsys):
+        code = main(["attack", "--seed", "7", "--json", *self.FAST])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        metrics = report["metrics"]
+        assert metrics["dram.hammer.calls"] > 0
+        assert metrics["attack.template.campaigns"] >= 1
+
+    def test_trace_file_loads_with_all_layers(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["attack", "--seed", "7", "--orchestrate", "--trace", str(trace),
+             "--metrics", *self.FAST]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "dram.hammer.calls" in out  # --metrics table
+        doc = json.loads(trace.read_text())
+        cats = {event.get("cat") for event in doc["traceEvents"]}
+        assert {"dram", "mm", "os", "attack", "chaos"} <= cats
+
+    def test_trace_jsonl_format(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["attack", "--seed", "7", "--trace", str(trace),
+             "--trace-format", "jsonl", *self.FAST]
+        )
+        assert code == 0
+        lines = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert any(row["type"] == "span" for row in lines[1:])
+
+    def test_json_mode_keeps_stdout_clean(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        code = main(
+            ["attack", "--seed", "7", "--json", "--trace", str(trace), *self.FAST]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is the report, nothing else
+        assert "trace written to" in captured.err
 
     def test_single_shot_under_chaos_fails(self, capsys):
         code = main(

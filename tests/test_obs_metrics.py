@@ -1,0 +1,156 @@
+"""MetricsRegistry unit tests plus machine-level integration."""
+
+import pytest
+
+from repro.core import Machine, MachineConfig
+from repro.obs import (
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Observability,
+)
+from repro.sim.errors import ConfigError
+from repro.sim.units import PAGE_SIZE
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x.events", unit="events")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot() == {"x.events": 5}
+
+    def test_same_identity_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigError):
+            registry.gauge("x")
+
+
+class TestLabels:
+    def test_labelled_instances_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("sys", labels={"call": "mmap"})
+        b = registry.counter("sys", labels={"call": "munmap"})
+        assert a is not b
+        a.inc(2)
+        b.inc(3)
+        snap = registry.snapshot()
+        assert snap["sys{call=mmap}"] == 2
+        assert snap["sys{call=munmap}"] == 3
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("m", labels={"b": "2", "a": "1"})
+        b = registry.counter("m", labels={"a": "1", "b": "2"})
+        assert a is b
+
+    def test_family_names_deduplicate_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("sys", labels={"call": "mmap"})
+        registry.counter("sys", labels={"call": "munmap"})
+        assert registry.family_names() == ["sys"]
+
+
+class TestGauge:
+    def test_set(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(42)
+        assert registry.snapshot()["depth"] == 42
+
+    def test_collector_runs_at_snapshot(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("sourced")
+        source = {"value": 0}
+        registry.add_collector(lambda: gauge.set(source["value"]))
+        source["value"] = 7
+        assert registry.snapshot()["sourced"] == 7
+
+
+class TestHistogram:
+    def test_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("dur", buckets=(10, 100))
+        for value in (1, 5, 50, 500):
+            histogram.observe(value)
+        snap = registry.snapshot()["dur"]
+        assert snap["count"] == 4
+        assert snap["sum"] == 556
+        assert snap["buckets"] == {"le_10": 2, "le_100": 3, "le_inf": 4}
+
+    def test_buckets_must_ascend(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigError):
+            registry.histogram("bad", buckets=(100, 10))
+
+
+class TestDisabledRegistry:
+    def test_returns_null_singletons(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("x") is NULL_COUNTER
+        assert registry.gauge("y") is NULL_GAUGE
+        assert registry.histogram("z", buckets=(1,)) is NULL_HISTOGRAM
+
+    def test_null_mutators_are_noops(self):
+        NULL_COUNTER.inc()
+        NULL_GAUGE.set(5)
+        NULL_HISTOGRAM.observe(5)
+
+    def test_snapshot_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("x").inc()
+        assert registry.snapshot() == {}
+        assert registry.render_table() == "(metrics disabled)"
+
+
+def _small_workload(machine):
+    kernel = machine.kernel
+    task = kernel.spawn("workload", cpu=0)
+    va = kernel.sys_mmap(task.pid, 32 * PAGE_SIZE)
+    for index in range(32):
+        kernel.mem_write(task.pid, va + index * PAGE_SIZE, b"x")
+    kernel.sys_munmap(task.pid, va, 32 * PAGE_SIZE)
+    return task
+
+
+class TestMachineIntegration:
+    def test_layers_report(self):
+        machine = Machine(MachineConfig.small(seed=3))
+        _small_workload(machine)
+        snap = machine.obs.metrics.snapshot()
+        assert snap["os.syscalls{call=mmap}"] == 1
+        assert snap["os.syscalls{call=munmap}"] == 1
+        assert snap["os.page_faults"] == 32
+        assert snap["mm.pcp.hits"] + snap["mm.pcp.misses"] == 32
+        assert snap["dram.activations"] > 0
+        assert snap["cpu_cache.misses"] > 0
+        assert snap["sim.clock_ns"] == machine.clock.now_ns
+
+    def test_render_table_lists_families(self):
+        machine = Machine(MachineConfig.small(seed=3))
+        table = machine.obs.metrics.render_table()
+        for name in ("dram.activations", "mm.free_pages", "os.page_faults"):
+            assert name in table
+
+    def test_disabled_machine_behaves_identically(self):
+        on = Machine(MachineConfig.small(seed=5))
+        off = Machine(MachineConfig(seed=5, geometry=on.config.geometry,
+                                    metrics_enabled=False))
+        _small_workload(on)
+        _small_workload(off)
+        assert off.obs.metrics.snapshot() == {}
+        assert vars(on.kernel.stats) == vars(off.kernel.stats)
+        assert on.clock.now_ns == off.clock.now_ns
+        assert on.controller.total_activations() == off.controller.total_activations()
+
+    def test_default_observability_hub(self):
+        obs = Observability()
+        assert obs.metrics.enabled
+        assert not obs.tracer.enabled
