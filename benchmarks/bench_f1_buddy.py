@@ -12,7 +12,6 @@ from __future__ import annotations
 from repro.analysis.tabulate import format_table, write_results
 from repro.mm.buddy import MAX_ORDER, BuddyAllocator
 from repro.mm.page import FrameTable
-from repro.sim.units import MIB, PAGE_SIZE
 
 ORDER_1MIB = 8  # 2^8 pages * 4 KiB = 1 MiB
 

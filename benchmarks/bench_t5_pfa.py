@@ -20,7 +20,7 @@ import numpy as np
 from repro.analysis.charts import ascii_chart
 from repro.analysis.stats import mean_and_ci
 from repro.analysis.tabulate import format_table, write_results
-from repro.ciphers.aes import AES, expand_key
+from repro.ciphers.aes import AES
 from repro.ciphers.aes_tables import AES_SBOX
 from repro.ciphers.batch import aes128_encrypt_batch, random_plaintexts
 from repro.ciphers.faults import FaultSpec, apply_fault

@@ -1,0 +1,146 @@
+"""Experiment T8 — campaign fan-out via machine snapshot/fork.
+
+The claim behind the event-driven core refactor: an attack campaign's
+dominant fixed cost is machine construction plus Rowhammer templating,
+and both are *identical* for every attempt — so one warm post-templating
+machine can be snapshotted and forked per attempt instead of rebuilt.
+
+One table: a 20-attempt campaign run three ways —
+
+* rebuild (pre-refactor behaviour: fresh machine + fresh templating per
+  attempt, event-driven core),
+* fork (template once, fork a warm machine per attempt),
+* rebuild on the legacy polled core (the equivalence control).
+
+Acceptance: fork is ≥3× faster than rebuild in wall-clock, and all
+three modes produce **bit-identical** campaign digests — the SHA-256
+over every attempt's canonical report JSON — proving that neither
+snapshot/fork nor the event-driven timed core perturbs the attack.
+
+Each mode runs in a fresh interpreter subprocess (the same isolation
+pyperf uses).  ``Machine.fork`` is a deepcopy storm over ~300k objects
+whose ``memo``-dict cost is pathologically sensitive to the process's
+address layout: the identical campaign measures anywhere between ~12s
+and ~45s in-process depending on what the harness happened to allocate
+first, while rebuild campaigns (no deepcopy) are layout-insensitive.
+A pristine interpreter per mode removes that confound and mirrors how
+campaigns actually run (one process per campaign).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SEED = 7
+ATTEMPTS = 20
+MIN_SPEEDUP = 3.0
+
+#: label -> (timed_core, fork_from_template)
+MODES = {
+    "rebuild / events": ("events", False),
+    "fork / events": ("events", True),
+    "rebuild / polled": ("polled", False),
+}
+
+
+def run_campaign(timed_core: str, fork: bool) -> dict:
+    """One full campaign in the current process.
+
+    Returns ``{"wall": seconds, "digest": hex, "successes": int}``.
+    """
+    from repro.attack.explframe import ExplFrameConfig
+    from repro.attack.orchestrator import AttackCampaign, OrchestratorConfig
+    from repro.attack.templating import TemplatorConfig
+    from repro.core import MachineConfig
+    from repro.dram.flipmodel import FlipModelConfig
+    from repro.dram.geometry import DRAMGeometry
+    from repro.sim.units import MIB, SECOND
+
+    campaign = AttackCampaign(
+        MachineConfig(
+            seed=SEED,
+            geometry=DRAMGeometry.small(),
+            flip_model=FlipModelConfig.highly_vulnerable(),
+            timed_core=timed_core,
+        ),
+        ATTEMPTS,
+        attack_config=ExplFrameConfig(
+            templator=TemplatorConfig(buffer_bytes=4 * MIB, rounds=1_300_000, batch_pairs=8)
+        ),
+        orchestrator_config=OrchestratorConfig(deadline_ns=600 * SECOND),
+        fork_from_template=fork,
+    )
+    begin = time.perf_counter()
+    result = campaign.run()
+    wall = time.perf_counter() - begin
+    return {"wall": wall, "digest": result.digest(), "successes": result.successes}
+
+
+def run_campaign_subprocess(timed_core: str, fork: bool) -> dict:
+    """``run_campaign`` in a pristine interpreter; parses its JSON result."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, __file__, timed_core, "1" if fork else "0"],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def test_t8_campaign_fanout(benchmark):
+    from repro.analysis.tabulate import format_table, write_results
+
+    outcomes = {label: run_campaign_subprocess(*spec) for label, spec in MODES.items()}
+
+    # Bit-identical attacks across fork-vs-rebuild AND events-vs-polled.
+    digests = {label: outcome["digest"] for label, outcome in outcomes.items()}
+    assert len(set(digests.values())) == 1, f"campaign digests diverged: {digests}"
+    successes = outcomes["fork / events"]["successes"]
+
+    base = outcomes["rebuild / events"]["wall"]
+    rows = []
+    for label in MODES:
+        wall = outcomes[label]["wall"]
+        rows.append(
+            [
+                label,
+                f"{wall:.2f}",
+                f"{wall / ATTEMPTS:.2f}",
+                f"{base / wall:.2f}x",
+                digests[label][:16],
+            ]
+        )
+    table = format_table(
+        ["mode", "wall s", "s/attempt", "speedup", "digest[:16]"],
+        rows,
+        title=(
+            f"T8: {ATTEMPTS}-attempt campaign fan-out, snapshot/fork vs rebuild "
+            f"(seed {SEED}, {successes}/{ATTEMPTS} keys recovered)"
+        ),
+    )
+    write_results("t8_campaign", table)
+
+    assert successes == ATTEMPTS, f"campaign lost attempts: {successes}/{ATTEMPTS}"
+    speedup = base / outcomes["fork / events"]["wall"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"fork speedup {speedup:.2f}x below the {MIN_SPEEDUP}x bar"
+    )
+
+    benchmark.pedantic(
+        lambda: run_campaign_subprocess("events", fork=True),
+        rounds=1,
+        iterations=1,
+    )
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_campaign(sys.argv[1], sys.argv[2] == "1")))

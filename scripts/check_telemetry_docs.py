@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import re
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -32,6 +33,7 @@ from repro.attack.orchestrator import (  # noqa: E402
 )
 from repro.attack.templating import TemplatorConfig  # noqa: E402
 from repro.core import Machine, MachineConfig  # noqa: E402
+from repro.defense.watchdog import WatchdogConfig  # noqa: E402
 from repro.sim.chaos import ChaosEngine, chaos_profile  # noqa: E402
 from repro.sim.units import MIB  # noqa: E402
 
@@ -43,7 +45,8 @@ _EMIT = re.compile(r"tracer\.(?:span|instant|complete)\(\s*\n?\s*\"([a-z_.]+)\""
 
 
 def registered_families() -> set[str]:
-    machine = Machine(MachineConfig.small(seed=0))
+    config = replace(MachineConfig.small(seed=0), watchdog=WatchdogConfig())
+    machine = Machine(config)
     ChaosEngine(machine.kernel, chaos_profile("none"))
     attack = ExplFrameAttack(
         machine,
@@ -52,6 +55,9 @@ def registered_families() -> set[str]:
         ),
     )
     AttackOrchestrator(attack, OrchestratorConfig())
+    # Drive past one scheduler tick so lazily-created per-queue families
+    # (sim.events.dispatched{queue=...}) register.
+    machine.run_until(machine.scheduler.TIMESLICE_NS)
     return set(machine.obs.metrics.family_names())
 
 

@@ -1,10 +1,20 @@
-"""Parameter sweeps over fresh machines.
+"""Parameter sweeps over fresh or forked machines.
 
 An experiment point is a function of a :class:`~repro.core.machine.Machine`
 built from a per-trial seed; the sweep runs it over a parameter grid with
-``trials`` independent seeds per point and collects the outcomes.  Fresh
-machines per trial keep points statistically independent and the whole
-sweep reproducible from the base seed.
+``trials`` independent seeds per point and collects the outcomes.
+
+Two trial-machine strategies are available:
+
+* **rebuild** (default) — a fresh machine per trial, each a pure
+  function of its derived seed.  Points stay statistically independent
+  and the whole sweep reproduces from the base seed.
+* **fork** (``warm_fn=...``) — one warm machine is prepared (e.g. built
+  and templated), snapshotted, and every trial receives an independent
+  :meth:`~repro.core.machine.MachineSnapshot.fork` re-keyed with the
+  trial seed.  The warm-up cost is paid once per sweep instead of once
+  per trial; trial independence is preserved because forks share no
+  mutable state.
 """
 
 from __future__ import annotations
@@ -35,28 +45,48 @@ class SweepPoint:
 
 
 class Sweep:
-    """Runs ``trial_fn(machine, parameter)`` over a grid of parameters."""
+    """Runs ``trial_fn(machine, parameter)`` over a grid of parameters.
+
+    With ``warm_fn`` the sweep switches to fork mode: ``warm_fn(config)``
+    must return a warm :class:`Machine` (built from the point's config,
+    driven to whatever state the trials should start from), which is
+    snapshotted once per grid point and forked per trial.
+    """
 
     def __init__(
         self,
         base_config: MachineConfig,
         trial_fn: Callable[[Machine, object], object],
         name: str = "sweep",
+        warm_fn: Callable[[MachineConfig], Machine] | None = None,
     ):
         self.base_config = base_config
         self.trial_fn = trial_fn
         self.name = name
+        self.warm_fn = warm_fn
 
     def _trial_seed(self, parameter: object, trial: int) -> int:
         return derive_seed(
             self.base_config.seed, f"{self.name}/{parameter!r}/{trial}"
         )
 
+    def _point_seed(self, parameter: object) -> int:
+        return derive_seed(self.base_config.seed, f"{self.name}/{parameter!r}/warm")
+
     def run_point(self, parameter: object, trials: int) -> SweepPoint:
         """Run one grid point with independent machines."""
         if trials <= 0:
             raise ValueError(f"trials must be positive, got {trials}")
         point = SweepPoint(parameter=parameter)
+        if self.warm_fn is not None:
+            warm = self.warm_fn(
+                self.base_config.with_seed(self._point_seed(parameter))
+            )
+            snapshot = warm.snapshot()
+            for trial in range(trials):
+                machine, _ = snapshot.fork(seed=self._trial_seed(parameter, trial))
+                point.outcomes.append(self.trial_fn(machine, parameter))
+            return point
         for trial in range(trials):
             config = self.base_config.with_seed(self._trial_seed(parameter, trial))
             machine = Machine(config)

@@ -26,8 +26,10 @@ from repro.attack.baselines import PagemapAttack, RandomSprayAttack
 from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
 from repro.attack.hammer import Hammerer
 from repro.attack.orchestrator import (
+    AttackCampaign,
     AttackOrchestrator,
     AttackRunReport,
+    CampaignResult,
     FailureClass,
     OrchestratorConfig,
     RetryPolicy,
@@ -37,8 +39,10 @@ from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
 from repro.attack.templating import Templator, TemplatorConfig
 
 __all__ = [
+    "AttackCampaign",
     "AttackOrchestrator",
     "AttackRunReport",
+    "CampaignResult",
     "ExplFrameAttack",
     "ExplFrameConfig",
     "FailureClass",

@@ -117,8 +117,12 @@ class ExplFrameAttack:
         self.total_flips = 0
         self.campaigns_run = 0
         self._retired_rounds = 0
-        self.obs = machine.obs
-        metrics = self.obs.metrics
+        self.bind_obs(machine.obs)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (re-run on machine fork)."""
+        self.obs = obs
+        metrics = obs.metrics
         self._m_campaigns = metrics.counter(
             "attack.template.campaigns", unit="campaigns",
             help="templating passes over fresh buffers",

@@ -31,14 +31,17 @@ seed and chaos plan.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections import deque
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from enum import Enum
 
-from repro.attack.explframe import ExplFrameAttack
+from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
 from repro.core.results import FlipTemplate
 from repro.sim.errors import ConfigError, TemplatingExhaustedError
+from repro.sim.rng import derive_seed
 from repro.sim.units import MS, SECOND
 
 # -- failure taxonomy -------------------------------------------------------------
@@ -211,8 +214,24 @@ class AttackRunReport:
         """Total stage attempts on the timeline."""
         return len(self.timeline)
 
+    @property
+    def stage_sim_time_ns(self) -> dict[str, int]:
+        """Simulated time spent inside each stage, summed over attempts.
+
+        Sourced from the timeline's event-scheduler timestamps; backoff
+        waits between attempts are not inside any stage, so the values
+        sum to less than ``budget.sim_time_ns``.
+        """
+        totals: dict[str, int] = {}
+        for record in self.timeline:
+            totals[record.stage] = (
+                totals.get(record.stage, 0) + record.end_ns - record.start_ns
+            )
+        return totals
+
     def to_dict(self) -> dict:
         return {
+            "stage_sim_time_ns": self.stage_sim_time_ns,
             "seed": self.seed,
             "chaos_profile": self.chaos_profile,
             "success": self.success,
@@ -247,10 +266,19 @@ class AttackOrchestrator:
     never injects adversity itself.
     """
 
-    def __init__(self, attack: ExplFrameAttack, config: OrchestratorConfig | None = None):
+    def __init__(
+        self,
+        attack: ExplFrameAttack,
+        config: OrchestratorConfig | None = None,
+        candidates: Iterable[FlipTemplate] | None = None,
+    ):
         self.attack = attack
         self.kernel = attack.kernel
         self.config = config or OrchestratorConfig()
+        # Pre-stocked candidate templates (from a warm forked machine):
+        # the run starts steering immediately and only re-templates once
+        # these are spent.
+        self._initial_candidates = tuple(candidates or ())
         self._timeline: list[AttemptRecord] = []
         self._failures: list[StageFailure] = []
         self._recoveries: list[str] = []
@@ -345,8 +373,19 @@ class AttackOrchestrator:
         return None
 
     def _backoff(self, policy: RetryPolicy, attempt: int) -> None:
-        """Wait out adversity in simulated time (never past hope)."""
-        self.kernel.clock.advance(policy.backoff_ns(attempt))
+        """Wait out adversity in simulated time (never past hope).
+
+        On an event-driven machine the wait runs through the scheduler,
+        so refresh ticks (and any other timed work) fire at their due
+        instants during the backoff instead of coalescing at its end.
+        """
+        wait = policy.backoff_ns(attempt)
+        machine = self.attack.machine
+        run_until = getattr(machine, "run_until", None)
+        if run_until is not None:
+            run_until(self.kernel.clock.now_ns + wait)
+        else:
+            self.kernel.clock.advance(wait)
 
     # -- recovery helpers ---------------------------------------------------------
 
@@ -386,7 +425,7 @@ class AttackOrchestrator:
     def _run(self) -> AttackRunReport:
         attack = self.attack
         self._start_ns = self.kernel.clock.now_ns
-        candidates: deque[FlipTemplate] = deque()
+        candidates: deque[FlipTemplate] = deque(self._initial_candidates)
         candidates_tried = 0
         consumed_total = 0
         steer_misses = 0
@@ -573,3 +612,129 @@ class AttackOrchestrator:
             recoveries=tuple(self._recoveries),
             faulty_ciphertexts=consumed_total,
         )
+
+
+# -- campaign fan-out --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of an N-attempt campaign.
+
+    ``digest()`` hashes every attempt's canonical report JSON, in order —
+    the equality witness that the fork and rebuild strategies (and the
+    event-driven and polled cores) produce literally the same attacks.
+    """
+
+    reports: tuple[AttackRunReport, ...]
+    mode: str  # "fork" | "rebuild"
+
+    @property
+    def attempts(self) -> int:
+        """Number of attack attempts run."""
+        return len(self.reports)
+
+    @property
+    def successes(self) -> int:
+        """Attempts that recovered the key."""
+        return sum(1 for report in self.reports if report.success)
+
+    def digest(self) -> str:
+        """SHA-256 over the concatenated canonical report JSONs."""
+        hasher = hashlib.sha256()
+        for report in self.reports:
+            hasher.update(report.to_json().encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "attempts": self.attempts,
+            "successes": self.successes,
+            "digest": self.digest(),
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+
+class AttackCampaign:
+    """Runs N orchestrated attack attempts against one machine shape.
+
+    Every attempt is an independent machine in the same warm state — a
+    freshly built machine whose attacker has already templated a usable
+    candidate set — re-keyed with a per-attempt seed
+    (``derive_seed(base_seed, "campaign/<i>")``) so post-templating
+    randomness (PFA plaintexts, victim interaction) varies per attempt
+    while the hardware and the templated state stay fixed.
+
+    Two interchangeable strategies reach that state:
+
+    * ``fork_from_template=True`` — build + template **once**, snapshot,
+      and :meth:`~repro.core.machine.MachineSnapshot.fork` per attempt.
+      The dominant fixed cost (templating a whole buffer under refresh)
+      is paid one time.
+    * ``fork_from_template=False`` — rebuild and re-template per attempt
+      (the pre-refactor behaviour).
+
+    Determinism makes them equivalent by construction: a rebuilt machine
+    reaches bit-identical post-templating state, so reseeding it matches
+    reseeding a fork, and :meth:`CampaignResult.digest` comes out equal.
+    """
+
+    def __init__(
+        self,
+        base_config,
+        attempts: int,
+        *,
+        attack_config: ExplFrameConfig | None = None,
+        orchestrator_config: OrchestratorConfig | None = None,
+        fork_from_template: bool = True,
+    ):
+        if attempts <= 0:
+            raise ConfigError(f"attempts must be positive, got {attempts}")
+        self.base_config = base_config
+        self.attempts = attempts
+        self.attack_config = attack_config or ExplFrameConfig()
+        self.orchestrator_config = orchestrator_config or OrchestratorConfig()
+        self.fork_from_template = fork_from_template
+
+    def _attempt_seed(self, index: int) -> int:
+        return derive_seed(self.base_config.seed, f"campaign/{index}")
+
+    def _warm(self):
+        """Build a machine and drive its attack to post-templating state."""
+        from repro.core.machine import Machine
+
+        machine = Machine(self.base_config)
+        attack = ExplFrameAttack(machine, config=self.attack_config)
+        candidates = tuple(
+            attack.template_until_usable(self.orchestrator_config.campaign_budget)
+        )
+        return machine, attack, candidates
+
+    def _run_attempt(self, machine, attack, candidates, index: int) -> AttackRunReport:
+        machine.rng.reseed(self._attempt_seed(index))
+        orchestrator = AttackOrchestrator(
+            attack, self.orchestrator_config, candidates=candidates
+        )
+        return orchestrator.run()
+
+    def run(self) -> CampaignResult:
+        """Execute every attempt; returns the ordered results."""
+        if not self.fork_from_template:
+            reports = []
+            for index in range(self.attempts):
+                machine, attack, candidates = self._warm()
+                reports.append(self._run_attempt(machine, attack, candidates, index))
+            return CampaignResult(reports=tuple(reports), mode="rebuild")
+        machine, attack, candidates = self._warm()
+        snapshot = machine.snapshot(extras={"attack": attack, "candidates": candidates})
+        reports = []
+        for index in range(self.attempts):
+            forked, extras = snapshot.fork()
+            reports.append(
+                self._run_attempt(
+                    forked, extras["attack"], extras["candidates"], index
+                )
+            )
+        return CampaignResult(reports=tuple(reports), mode="fork")

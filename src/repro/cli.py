@@ -51,23 +51,27 @@ def _emit_observability(machine, args, json_mode: bool) -> None:
         print(machine.obs.metrics.render_table())
 
 
-def _vulnerable_machine(seed: int, density: float):
-    from repro.core import Machine, MachineConfig
+def _vulnerable_config(seed: int, density: float):
+    from repro.core import MachineConfig
     from repro.dram.flipmodel import FlipModelConfig
     from repro.dram.geometry import DRAMGeometry
 
-    return Machine(
-        MachineConfig(
-            seed=seed,
-            geometry=DRAMGeometry.small(),
-            flip_model=FlipModelConfig(
-                weak_cells_per_row_mean=density,
-                threshold_mean=150_000,
-                threshold_sd=50_000,
-                threshold_min=40_000,
-            ),
-        )
+    return MachineConfig(
+        seed=seed,
+        geometry=DRAMGeometry.small(),
+        flip_model=FlipModelConfig(
+            weak_cells_per_row_mean=density,
+            threshold_mean=150_000,
+            threshold_sd=50_000,
+            threshold_min=40_000,
+        ),
     )
+
+
+def _vulnerable_machine(seed: int, density: float):
+    from repro.core import Machine
+
+    return Machine(_vulnerable_config(seed, density))
 
 
 def cmd_attack(args: argparse.Namespace) -> int:
@@ -88,6 +92,9 @@ def cmd_attack(args: argparse.Namespace) -> int:
     from repro.attack.templating import TemplatorConfig
     from repro.sim.chaos import ChaosEngine, chaos_profile
     from repro.sim.units import SECOND
+
+    if args.campaign:
+        return _cmd_attack_campaign(args)
 
     machine = _vulnerable_machine(args.seed, args.density)
     if args.trace:
@@ -172,6 +179,56 @@ def cmd_attack(args: argparse.Namespace) -> int:
     print(f"KEY RECOVERED:        {result.key_recovered}")
     _emit_observability(machine, args, json_mode=False)
     return 0 if result.key_recovered else 1
+
+
+def _cmd_attack_campaign(args: argparse.Namespace) -> int:
+    """Run ``--campaign N`` orchestrated attempts; exit 0 iff all succeed.
+
+    With ``--fork-from-template`` the machine is built and templated once
+    and every attempt runs on an independent fork of that warm state;
+    otherwise each attempt rebuilds from scratch (same reports, slower).
+    """
+    from repro.attack.explframe import ExplFrameConfig
+    from repro.attack.orchestrator import AttackCampaign, OrchestratorConfig
+    from repro.attack.templating import TemplatorConfig
+    from repro.sim.errors import ConfigError
+    from repro.sim.units import SECOND
+
+    if args.chaos != "none":
+        raise ConfigError("--campaign does not combine with --chaos (yet)")
+    campaign = AttackCampaign(
+        _vulnerable_config(args.seed, args.density),
+        args.campaign,
+        attack_config=ExplFrameConfig(
+            cipher=args.cipher,
+            templator=TemplatorConfig(
+                buffer_bytes=args.buffer_mib * MIB, batch_pairs=16
+            ),
+            max_campaigns=args.campaigns,
+        ),
+        orchestrator_config=OrchestratorConfig(
+            deadline_ns=int(args.deadline * SECOND),
+        ),
+        fork_from_template=args.fork_from_template,
+    )
+    result = campaign.run()
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":")))
+        return 0 if result.successes == result.attempts else 1
+    print(f"campaign mode:        {result.mode}")
+    print(f"attempts:             {result.attempts}")
+    print(f"successes:            {result.successes}")
+    print(f"report digest:        {result.digest()}")
+    for index, report in enumerate(result.reports):
+        outcome = "ok" if report.success else "FAIL"
+        print(
+            f"  [{index}] {outcome}  seed={report.seed}  "
+            f"stages={report.attempts}  "
+            f"sim={report.budget.sim_time_ns / 1e9:.2f}s"
+        )
+    return 0 if result.successes == result.attempts else 1
 
 
 def cmd_steer(args: argparse.Namespace) -> int:
@@ -317,6 +374,18 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--buffer-mib", type=int, default=8)
     attack.add_argument("--density", type=float, default=3.0, help="weak cells per row")
     attack.add_argument("--campaigns", type=int, default=4)
+    attack.add_argument(
+        "--campaign",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N orchestrated attempts as a campaign (0 = single run)",
+    )
+    attack.add_argument(
+        "--fork-from-template",
+        action="store_true",
+        help="with --campaign: template once and fork a warm machine per attempt",
+    )
     from repro.sim.chaos import CHAOS_PROFILES
 
     attack.add_argument(

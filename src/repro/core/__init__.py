@@ -11,7 +11,7 @@ Typical use::
 """
 
 from repro.core.config import MachineConfig
-from repro.core.machine import Machine
+from repro.core.machine import Machine, MachineSnapshot
 from repro.core.results import (
     EndToEndResult,
     SteeringResult,
@@ -22,6 +22,7 @@ __all__ = [
     "EndToEndResult",
     "Machine",
     "MachineConfig",
+    "MachineSnapshot",
     "SteeringResult",
     "TemplatingResult",
 ]

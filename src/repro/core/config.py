@@ -15,6 +15,7 @@ from repro.dram.ecc import EccConfig
 from repro.dram.geometry import DRAMGeometry
 from repro.dram.timing import DRAMTiming
 from repro.dram.trr import TrrConfig
+from repro.defense.watchdog import WatchdogConfig
 from repro.mm.pcp import PcpConfig
 from repro.mm.zone import ZoneLayout
 from repro.sim.errors import ConfigError
@@ -40,6 +41,15 @@ class MachineConfig:
     #: enough to leave on (see docs/OBSERVABILITY.md); benchmarks flip
     #: this off to measure instrumentation overhead (experiment A7).
     metrics_enabled: bool = True
+    #: How recurring behaviours (DRAM refresh, kswapd, scheduler ticks,
+    #: watchdog scans) advance: ``"events"`` dispatches them through the
+    #: machine's :class:`~repro.sim.events.EventScheduler`; ``"polled"``
+    #: keeps the legacy inline checks.  Both produce bit-identical
+    #: simulations (proven by bench_t8).
+    timed_core: str = "events"
+    #: Attach an event-driven ANVIL-style hammering watchdog (None = off).
+    #: Only meaningful with ``timed_core="events"``.
+    watchdog: WatchdogConfig | None = None
 
     def __post_init__(self) -> None:
         if self.num_cpus <= 0:
@@ -53,6 +63,10 @@ class MachineConfig:
             )
         if self.mapping not in ("linear", "xor"):
             raise ConfigError(f"mapping must be 'linear' or 'xor', got {self.mapping!r}")
+        if self.timed_core not in ("events", "polled"):
+            raise ConfigError(
+                f"timed_core must be 'events' or 'polled', got {self.timed_core!r}"
+            )
 
     def with_seed(self, seed: int) -> "MachineConfig":
         """The same machine shape under a different seed (for trial sweeps)."""

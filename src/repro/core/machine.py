@@ -1,8 +1,19 @@
-"""Machine assembly: wire every substrate together from one config."""
+"""Machine assembly: wire every substrate together from one config.
+
+Besides construction, this module owns the machine's *lifecycle*
+operations: driving the event scheduler (:meth:`Machine.run_until` /
+:meth:`Machine.step`) and cloning warm state
+(:meth:`Machine.snapshot` / :meth:`Machine.fork`) so campaigns and
+sweeps can fan out from one templated machine instead of rebuilding
+and re-templating per attempt.
+"""
 
 from __future__ import annotations
 
+import copy
+
 from repro.core.config import MachineConfig
+from repro.defense.watchdog import HammerWatchdog
 from repro.dram.cache import CpuCache
 from repro.dram.controller import MemoryController
 from repro.dram.mapping import make_mapping
@@ -10,12 +21,62 @@ from repro.mm.allocator import ZonedPageFrameAllocator
 from repro.mm.node import NumaNode
 from repro.mm.page import FrameTable
 from repro.mm.reclaim import Kswapd
-from repro.obs import Observability
+from repro.obs import NOOP_OBS, Observability
 from repro.os.kernel import Kernel
 from repro.os.scheduler import Scheduler
 from repro.sim.clock import SimClock
+from repro.sim.events import EventBus, EventScheduler
 from repro.sim.rng import RngStreams
 from repro.sim.units import PAGE_SIZE
+
+
+def _rebind_extras(extras, obs) -> None:
+    """Re-attach a fresh observability hub to forked companion objects."""
+    if extras is None:
+        return
+    if isinstance(extras, (list, tuple)):
+        for item in extras:
+            _rebind_extras(item, obs)
+        return
+    if isinstance(extras, dict):
+        for item in extras.values():
+            _rebind_extras(item, obs)
+        return
+    bind = getattr(extras, "bind_obs", None)
+    if callable(bind):
+        bind(obs)
+
+
+class MachineSnapshot:
+    """A frozen deep copy of a machine (plus companions) at one instant.
+
+    The snapshot is decoupled from the live machine — the original can
+    keep running — and :meth:`fork` stamps out any number of independent
+    machines from it.  The observability hub is *not* part of the state:
+    it is excluded during the copy and every fork gets a fresh one, so
+    metrics/traces never alias between forks.
+    """
+
+    def __init__(self, machine: "Machine", extras=None):
+        memo = {id(machine.obs): NOOP_OBS}
+        self._state = copy.deepcopy((machine, extras), memo)
+
+    def fork(self, seed: int | None = None) -> tuple["Machine", object]:
+        """A fresh, independent (machine, extras) pair from the snapshot.
+
+        With ``seed`` the fork's RNG streams are re-keyed, giving it an
+        independent but reproducible random future; its materialised
+        state (weak-cell map, memory contents, allocator lists, pending
+        events) is untouched — hardware does not change identity when an
+        experiment re-rolls its dice.
+        """
+        memo = {id(NOOP_OBS): NOOP_OBS}
+        machine, extras = copy.deepcopy(self._state, memo)
+        machine._rebind_obs()
+        _rebind_extras(extras, machine.obs)
+        if seed is not None:
+            machine.rng.reseed(seed)
+        return machine, extras
 
 
 class Machine:
@@ -33,6 +94,17 @@ class Machine:
             self.clock, metrics_enabled=self.config.metrics_enabled
         )
 
+        # The event core.  With timed_core="events" every recurring
+        # behaviour (refresh, kswapd, scheduler ticks, watchdog scans,
+        # chaos hooks) routes through one scheduler + bus; "polled" keeps
+        # the legacy inline checks and leaves both as None.
+        if self.config.timed_core == "events":
+            self.events = EventScheduler(self.clock)
+            self.bus = EventBus()
+        else:
+            self.events = None
+            self.bus = None
+
         geometry = self.config.geometry
         self.mapping = make_mapping(self.config.mapping, geometry)
         self.controller = MemoryController(
@@ -44,15 +116,18 @@ class Machine:
             clock=self.clock,
             trr_config=self.config.trr,
             ecc_config=self.config.ecc,
+            events=self.events,
         )
         self.cache = CpuCache(self.config.cache)
 
         total_pages = geometry.total_bytes // PAGE_SIZE
         self.frames = FrameTable(total_pages)
         num_nodes = self.config.num_nodes
+        # Pages that don't divide evenly across nodes are truncated: each
+        # node manages exactly node_pages, and the tail (like a firmware
+        # hole) stays outside every node.
         node_pages = total_pages // num_nodes
-        if node_pages * PAGE_SIZE * num_nodes != geometry.total_bytes:
-            node_pages = total_pages // num_nodes  # truncate the remainder
+        self.unmanaged_bytes = geometry.total_bytes - node_pages * PAGE_SIZE * num_nodes
         self.nodes = [
             NumaNode(
                 node_id=index,
@@ -65,14 +140,23 @@ class Machine:
             )
             for index in range(num_nodes)
         ]
+        managed = sum(node.total_pages for node in self.nodes) * PAGE_SIZE
+        assert managed + self.unmanaged_bytes == geometry.total_bytes, (
+            f"per-node byte accounting broken: {managed} managed + "
+            f"{self.unmanaged_bytes} unmanaged != {geometry.total_bytes} total"
+        )
         self.node = self.nodes[0]
         self.kswapd = Kswapd()
+        if self.events is not None:
+            self.kswapd.bind_events(self.events)
         cpus_per_node = self.config.num_cpus // num_nodes
         cpu_to_node = [cpu // cpus_per_node for cpu in range(self.config.num_cpus)]
         self.allocator = ZonedPageFrameAllocator(
             self.nodes, self.kswapd, cpu_to_node=cpu_to_node if num_nodes > 1 else None
         )
         self.scheduler = Scheduler(self.config.num_cpus)
+        if self.events is not None:
+            self.scheduler.bind_events(self.events)
         self.kernel = Kernel(
             allocator=self.allocator,
             controller=self.controller,
@@ -80,13 +164,41 @@ class Machine:
             clock=self.clock,
             scheduler=self.scheduler,
             kswapd=self.kswapd,
+            events=self.events,
+            bus=self.bus,
         )
+        self.watchdog = (
+            HammerWatchdog(self.config.watchdog) if self.config.watchdog else None
+        )
+        if self.watchdog is not None and self.events is not None:
+            self.watchdog.bind_events(self.events, self.kernel.ledger)
 
+        self._bind_obs_chain()
+
+    # -- observability ---------------------------------------------------------
+
+    def _bind_obs_chain(self) -> None:
+        """(Re-)attach every component to the machine's current hub."""
         self.controller.bind_obs(self.obs)
         self.allocator.bind_obs(self.obs)
         self.scheduler.bind_obs(self.obs)
         self.kernel.bind_obs(self.obs)
+        self.kswapd.bind_obs(self.obs)
+        if self.events is not None:
+            self.events.bind_obs(self.obs)
+            self.bus.bind_obs(self.obs)
+        if self.watchdog is not None:
+            self.watchdog.bind_obs(self.obs)
+        if self.kernel.chaos is not None:
+            self.kernel.chaos.bind_obs(self.obs)
         self._register_cache_metrics()
+
+    def _rebind_obs(self) -> None:
+        """Give a forked machine its own fresh observability hub."""
+        self.obs = Observability(
+            self.clock, metrics_enabled=self.config.metrics_enabled
+        )
+        self._bind_obs_chain()
 
     def _register_cache_metrics(self) -> None:
         """CPU-cache counters, sourced at snapshot time (hot path untouched)."""
@@ -113,6 +225,48 @@ class Machine:
 
         metrics.add_collector(_collect)
 
+    # -- the event loop --------------------------------------------------------
+
+    def run_until(self, target_ns: int) -> int:
+        """Advance simulated time to ``target_ns``, firing due events.
+
+        Returns the number of events dispatched (0 in polled mode, where
+        this degenerates to a plain clock advance).
+        """
+        if self.events is not None:
+            return self.events.run_until(target_ns)
+        self.clock.advance_to(target_ns)
+        return 0
+
+    def step(self) -> int | None:
+        """Advance to the next scheduled event and fire it.
+
+        Returns the firing time, or None when idle (or in polled mode).
+        """
+        if self.events is None:
+            return None
+        return self.events.step()
+
+    # -- snapshot / fork -------------------------------------------------------
+
+    def snapshot(self, extras=None) -> MachineSnapshot:
+        """Freeze the machine (and optional companion objects) for forking.
+
+        ``extras`` rides along through the same deep copy, so objects
+        holding machine references (an attack mid-pipeline, templated
+        candidates) stay consistent with the copied machine.
+        """
+        return MachineSnapshot(self, extras)
+
+    def fork(self, seed: int | None = None) -> "Machine":
+        """An independent deep copy of this machine, optionally re-seeded.
+
+        One-shot convenience over :meth:`snapshot`; to stamp out many
+        forks, take one snapshot and fork it repeatedly.
+        """
+        machine, _ = MachineSnapshot(self).fork(seed=seed)
+        return machine
+
     @property
     def num_cpus(self) -> int:
         """Number of simulated CPUs."""
@@ -132,6 +286,11 @@ class Machine:
             },
             "kernel": vars(self.kernel.stats).copy(),
             "clock_ns": {"now": self.clock.now_ns},
+            "events": (
+                self.events.stats()
+                if self.events is not None
+                else {"scheduled": 0, "dispatched": 0, "cancelled": 0, "pending": 0}
+            ),
         }
 
     def __repr__(self) -> str:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import NOOP_OBS
 from repro.sim.errors import ConfigError
 
 
@@ -95,6 +96,48 @@ class HammerWatchdog:
         self.config = config or WatchdogConfig()
         self.alerts: list[HammerAlert] = []
         self._seen: set[tuple[int, int]] = set()
+        self.scans = 0
+        self._ledger: ActivationLedger | None = None
+        self.bind_obs(NOOP_OBS)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (see docs/OBSERVABILITY.md)."""
+        self.obs = obs
+        self._m_scans = obs.metrics.counter(
+            "defense.watchdog.scans", unit="scans",
+            help="periodic ledger scans by the hammering watchdog",
+        )
+        self._m_alerts = obs.metrics.counter(
+            "defense.watchdog.alerts", unit="alerts",
+            help="hammer-grade activation bursts flagged",
+        )
+
+    def bind_events(self, events, ledger: ActivationLedger, period_ns: int | None = None) -> None:
+        """Scan ``ledger`` periodically on the machine's event scheduler.
+
+        The default period is one refresh window (64 ms) — the granularity
+        the ledger itself is bucketed at, so scanning faster gains nothing.
+        """
+        self._ledger = ledger
+        if period_ns is None:
+            period_ns = 64_000_000
+        events.schedule_in(
+            "defense.watchdog.scan", period_ns, self._on_scan,
+            queue="defense", period_ns=period_ns,
+        )
+
+    def _on_scan(self, now_ns: int) -> None:
+        if self._ledger is None:
+            return
+        self.scans += 1
+        self._m_scans.inc()
+        new = self.scan(self._ledger)
+        if new:
+            self._m_alerts.inc(len(new))
+            self.obs.tracer.instant(
+                "defense.watchdog.alert", "defense",
+                alerts=len(new), pids=sorted({a.pid for a in new}),
+            )
 
     def scan(self, ledger: ActivationLedger) -> list[HammerAlert]:
         """Examine all retained windows; returns (and retains) new alerts."""

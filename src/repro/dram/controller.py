@@ -99,6 +99,7 @@ class MemoryController:
         clock: SimClock,
         trr_config: TrrConfig | None = None,
         ecc_config: EccConfig | None = None,
+        events=None,
     ):
         if mapping.geometry is not geometry:
             raise ConfigError("mapping was built for a different geometry")
@@ -121,7 +122,7 @@ class MemoryController:
         # unless a ChaosEngine is driving them, preserving the baseline
         # behaviour bit-for-bit.
         self.threshold_scale = 1.0
-        self.refresh_scale = 1.0
+        self._refresh_scale = 1.0
         self._banks: dict[tuple[int, int, int], Bank] = {}
         self._refresh_epoch = 0
         self.flip_log: list[FlipEvent] = []
@@ -129,6 +130,13 @@ class MemoryController:
         # Victim rows checked per flip evaluation: +-1 always, +-2 when the
         # distance-2 coupling is non-zero.
         self._max_coupling_distance = 2 if flip_config.coupling_distance2 > 0 else 1
+        # Event-driven refresh (timed_core="events"): a self-rescheduling
+        # tick on the "dram" scheduler queue replaces the inline epoch
+        # check.  ``events=None`` keeps the legacy polled behaviour.
+        self._events = events
+        self._refresh_handle = None
+        if events is not None:
+            self._schedule_refresh_tick()
         self.bind_obs(NOOP_OBS)
 
     def bind_obs(self, obs) -> None:
@@ -232,13 +240,61 @@ class MemoryController:
                 misses += bank.trr.tracker_misses
         return {"neighbor_refreshes": refreshes, "tracker_misses": misses}
 
+    @property
+    def refresh_scale(self) -> float:
+        """Chaos-injected stretch/shrink factor on the refresh window."""
+        return self._refresh_scale
+
+    @refresh_scale.setter
+    def refresh_scale(self, value: float) -> None:
+        if value == self._refresh_scale:
+            return
+        self._refresh_scale = value
+        if self._events is not None:
+            # The pending tick was aimed at the old window boundary.
+            # Re-aim: if the epoch index already differs under the new
+            # window length, fire at the next pump (due = now) — exactly
+            # when the polled epoch check would notice.
+            if self._refresh_handle is not None:
+                self._events.cancel(self._refresh_handle)
+            self._schedule_refresh_tick()
+
     def effective_refw_ns(self) -> int:
         """The refresh window length after any chaos-injected jitter."""
-        if self.refresh_scale == 1.0:
+        if self._refresh_scale == 1.0:
             return self.timing.t_refw_ns
-        return max(1, int(self.timing.t_refw_ns * self.refresh_scale))
+        return max(1, int(self.timing.t_refw_ns * self._refresh_scale))
 
-    def _maybe_refresh(self) -> None:
+    def _schedule_refresh_tick(self) -> None:
+        refw = self.effective_refw_ns()
+        now = self.clock.now_ns
+        if now // refw != self._refresh_epoch:
+            due = now
+        else:
+            due = (now // refw + 1) * refw
+        self._refresh_handle = self._events.schedule(
+            "dram.refresh.tick", due, self._on_refresh_tick, queue="dram"
+        )
+
+    def _on_refresh_tick(self, now_ns: int) -> None:
+        del now_ns
+        self._refresh_handle = None
+        self._refresh_check()
+        self._schedule_refresh_tick()
+
+    def _pump_timed(self) -> None:
+        """Advance timed behaviour at an access boundary.
+
+        Event mode drains the "dram" scheduler queue (the refresh tick
+        lives there); polled mode runs the inline epoch check.  Both roll
+        the window at the same instants, so the simulation is identical.
+        """
+        if self._events is not None:
+            self._events.dispatch_due("dram")
+        else:
+            self._refresh_check()
+
+    def _refresh_check(self) -> None:
         epoch = self.clock.now_ns // self.effective_refw_ns()
         if epoch != self._refresh_epoch:
             for bank in self._banks.values():
@@ -350,7 +406,7 @@ class MemoryController:
         the same activation behaviour in this model.
         """
         del write
-        self._maybe_refresh()
+        self._pump_timed()
         addr = self.mapping.to_dram(phys)
         key = addr.bank_key()
         bank = self.bank(key)
@@ -393,7 +449,7 @@ class MemoryController:
         return result
 
     def _hammer(self, phys_addrs: list[int], rounds: int) -> HammerResult:
-        self._maybe_refresh()
+        self._pump_timed()
 
         dram_addrs = [self.mapping.to_dram(p) for p in phys_addrs]
         by_bank: dict[tuple[int, int, int], list[int]] = {}
@@ -441,7 +497,7 @@ class MemoryController:
             for key, per_row in activations_per_round.items():
                 total_flips.extend(self._evaluate_around(key, set(per_row)))
             rounds_left -= chunk
-            self._maybe_refresh()
+            self._pump_timed()
 
         return HammerResult(
             rounds=rounds,

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dram.geometry import DRAMGeometry
 from repro.sim.errors import ConfigError
-from repro.sim.rng import RngStreams
+from repro.sim.rng import RngStreams, derive_seed
 
 
 @dataclass(frozen=True)
@@ -144,7 +146,11 @@ class WeakCellMap:
     def __init__(self, geometry: DRAMGeometry, config: FlipModelConfig, rng: RngStreams):
         self.geometry = geometry
         self.config = config
-        self._rng = rng
+        # The weak-cell population is a physical property of the module, so
+        # it is pinned to the seed the machine was *built* with.  A later
+        # RngStreams.reseed() (machine fork) must not re-materialise
+        # different hardware.
+        self._master_seed = rng.master_seed
         self._memo: dict[tuple[int, int], tuple[WeakCell, ...]] = {}
 
     def cells_in_row(self, flat_bank: int, row: int) -> tuple[WeakCell, ...]:
@@ -167,7 +173,9 @@ class WeakCellMap:
         cfg = self.config
         if cfg.weak_cells_per_row_mean == 0.0:
             return ()
-        gen = self._rng.fresh_numpy("dram.cells", flat_bank, row)
+        gen = np.random.default_rng(
+            derive_seed(self._master_seed, f"dram.cells/{flat_bank}/{row}")
+        )
         count = int(gen.poisson(cfg.weak_cells_per_row_mean))
         if count == 0:
             return ()

@@ -19,6 +19,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.mm.zone import Zone
+from repro.obs import NOOP_OBS
 from repro.sim.errors import ConfigError
 
 
@@ -45,6 +46,22 @@ class Kswapd:
         self.wake_count = 0
         self.reclaimed_pages = 0
         self.runs = 0
+        self._events = None
+        self._run_handle = None
+        self.obs = NOOP_OBS
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (the run span is emitted here in event mode)."""
+        self.obs = obs
+
+    def bind_events(self, events) -> None:
+        """Drive reclaim through an event scheduler (queue ``"mm"``).
+
+        A wake arms a due-now event; the kernel drains the queue at the
+        same syscall points where it used to poll ``pending_zones()``, so
+        reclaim still happens synchronously at controlled instants.
+        """
+        self._events = events
 
     # -- registration -------------------------------------------------------
 
@@ -85,6 +102,19 @@ class Kswapd:
         if zone.name not in self._woken:
             self._woken[zone.name] = zone
             self.wake_count += 1
+        if self._events is not None and self._run_handle is None:
+            self._run_handle = self._events.schedule(
+                "mm.kswapd.wake", self._events.clock.now_ns,
+                self._on_run_event, queue="mm",
+            )
+
+    def _on_run_event(self, now_ns: int) -> None:
+        del now_ns
+        self._run_handle = None
+        if not self._woken:
+            return
+        with self.obs.tracer.span("mm.kswapd.run", "mm") as span:
+            span.set("reclaimed", self.run())
 
     def pending_zones(self) -> list[str]:
         """Names of zones waiting for a reclaim pass."""
@@ -97,6 +127,11 @@ class Kswapd:
         zone's buddy allocator until the zone rises above its ``high``
         watermark or the pool empties.
         """
+        if self._run_handle is not None:
+            # Direct-reclaim callers (the OOM retry path) run us out of
+            # band; the armed wake event must not fire a second, empty run.
+            self._events.cancel(self._run_handle)
+            self._run_handle = None
         self.runs += 1
         total = 0
         for name in sorted(self._woken):

@@ -42,6 +42,7 @@ from repro.os.scheduler import Scheduler
 from repro.os.task import Task, TaskState
 from repro.sim.clock import SimClock
 from repro.sim.errors import ConfigError, FaultError, OutOfMemoryError, SegmentationFault
+from repro.sim.events import TOPIC_SYSCALL, SyscallHook
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_down
 from repro.vm.pagemap import Pagemap
 from repro.vm.vma import Protection, VmaFlags
@@ -73,6 +74,8 @@ class Kernel:
         clock: SimClock,
         scheduler: Scheduler,
         kswapd: Kswapd | None = None,
+        events=None,
+        bus=None,
     ):
         self.allocator = allocator
         self.controller = controller
@@ -95,6 +98,13 @@ class Kernel:
         # well-defined syscall hooks pump it so adversity events fire
         # deterministically inside the simulation, not around it.
         self.chaos = None
+        # Event-driven core (timed_core="events"): syscall hooks publish on
+        # the bus and drain the os/defense scheduler queues; ``None`` keeps
+        # the legacy direct-call behaviour.
+        self.events = events
+        self.bus = bus
+        if bus is not None:
+            bus.subscribe(TOPIC_SYSCALL, self._on_syscall_event)
         self.bind_obs(NOOP_OBS)
 
     def bind_obs(self, obs) -> None:
@@ -142,8 +152,23 @@ class Kernel:
         metrics.add_collector(_collect)
 
     def _pump_chaos(self, hook: str, pid: int) -> None:
-        if self.chaos is not None:
+        if self.bus is not None:
+            # Event mode: the hook is a bus message; the chaos engine (and
+            # any other listener) receives it via subscription.  Timed work
+            # parked on the os/defense queues drains at the same instants
+            # the polled core serviced it.
+            if self.events is not None:
+                self.events.dispatch_due("os")
+                self.events.dispatch_due("defense")
+            self.bus.publish(
+                TOPIC_SYSCALL, SyscallHook(hook=hook, pid=pid, time_ns=self.clock.now_ns)
+            )
+        elif self.chaos is not None:
             self.chaos.pump(hook, pid)
+
+    def _on_syscall_event(self, event: SyscallHook) -> None:
+        if self.chaos is not None:
+            self.chaos.pump(event.hook, event.pid)
 
     def _account_activations(self, pid: int, activations: int) -> None:
         if activations > 0:
@@ -151,7 +176,14 @@ class Kernel:
 
     def _maybe_run_kswapd(self) -> None:
         """Run pending reclaim work (synchronous stand-in for the daemon)."""
-        if self.kswapd is not None and self.kswapd.pending_zones():
+        if self.kswapd is None:
+            return
+        if self.events is not None:
+            # Event mode: a wake armed a due-now event on the "mm" queue;
+            # draining it here keeps reclaim at the exact same points.
+            self.events.dispatch_due("mm")
+            return
+        if self.kswapd.pending_zones():
             with self.obs.tracer.span("mm.kswapd.run", "mm") as span:
                 span.set("reclaimed", self.kswapd.run())
 

@@ -18,12 +18,19 @@ from repro.sim.errors import ConfigError
 class Scheduler:
     """Tracks which tasks are resident on which CPU."""
 
+    #: Default timeslice for event-driven tick accounting (CFS-ish 4 ms).
+    TIMESLICE_NS = 4_000_000
+
     def __init__(self, num_cpus: int):
         if num_cpus <= 0:
             raise ConfigError(f"num_cpus must be positive, got {num_cpus}")
         self.num_cpus = num_cpus
         self._cpu_tasks: list[list[int]] = [[] for _ in range(num_cpus)]
         self.migrations = 0
+        self.ticks = 0
+        self.cpu_time_ns = [0] * num_cpus
+        self._last_tick_ns = 0
+        self._events = None
         self.bind_obs(NOOP_OBS)
 
     def bind_obs(self, obs) -> None:
@@ -33,6 +40,33 @@ class Scheduler:
             "os.sched.migrations", unit="migrations",
             help="tasks moved between CPUs",
         )
+        self._m_ticks = obs.metrics.counter(
+            "os.sched.ticks", unit="ticks",
+            help="timeslice accounting ticks dispatched",
+        )
+
+    def bind_events(self, events, timeslice_ns: int | None = None) -> None:
+        """Account CPU time on a recurring scheduler tick (queue ``"os"``).
+
+        Pure bookkeeping — placement decisions stay synchronous — so the
+        tick never perturbs the simulation, it only attributes elapsed
+        sim-time to the CPUs that had runnable tasks.
+        """
+        self._events = events
+        self._last_tick_ns = events.clock.now_ns
+        period = timeslice_ns or self.TIMESLICE_NS
+        events.schedule_in(
+            "os.sched.tick", period, self._on_tick, queue="os", period_ns=period
+        )
+
+    def _on_tick(self, now_ns: int) -> None:
+        elapsed = now_ns - self._last_tick_ns
+        self._last_tick_ns = now_ns
+        for cpu, pids in enumerate(self._cpu_tasks):
+            if pids:
+                self.cpu_time_ns[cpu] += elapsed
+        self.ticks += 1
+        self._m_ticks.inc()
 
     def _check_cpu(self, cpu: int) -> None:
         if not 0 <= cpu < self.num_cpus:

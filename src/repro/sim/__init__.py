@@ -29,6 +29,13 @@ from repro.sim.errors import (
     SegmentationFault,
     TemplatingExhaustedError,
 )
+from repro.sim.events import (
+    TOPIC_SYSCALL,
+    EventBus,
+    EventHandle,
+    EventScheduler,
+    SyscallHook,
+)
 from repro.sim.rng import RngStreams
 from repro.sim.units import (
     GIB,
@@ -53,6 +60,9 @@ __all__ = [
     "ChaosPlan",
     "ChaosRecord",
     "ConfigError",
+    "EventBus",
+    "EventHandle",
+    "EventScheduler",
     "FaultError",
     "GIB",
     "KIB",
@@ -67,6 +77,8 @@ __all__ = [
     "SECOND",
     "SegmentationFault",
     "SimClock",
+    "SyscallHook",
+    "TOPIC_SYSCALL",
     "TemplatingExhaustedError",
     "US",
     "chaos_profile",

@@ -349,16 +349,20 @@ class ChaosEngine:
         self._refresh_windows: list[tuple[int, float]] = []
         self._competitors: dict[int, int] = {}  # cpu -> competitor pid
         kernel.chaos = self
-        self.obs = kernel.obs
-        self._m_fired = self.obs.metrics.counter(
+        self.bind_obs(kernel.obs)
+        self.obs.tracer.instant(
+            "chaos.plan", "chaos", plan=plan.name, events=len(plan.events)
+        )
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability hub (re-run on machine fork)."""
+        self.obs = obs
+        self._m_fired = obs.metrics.counter(
             "chaos.events_fired", unit="events",
             help="chaos events that actually fired",
         )
-        self._m_pumps = self.obs.metrics.counter(
+        self._m_pumps = obs.metrics.counter(
             "chaos.pumps", unit="calls", help="kernel pump-point visits"
-        )
-        self.obs.tracer.instant(
-            "chaos.plan", "chaos", plan=plan.name, events=len(plan.events)
         )
 
     # -- effect plumbing (used by events) ---------------------------------------

@@ -72,5 +72,22 @@ class RngStreams:
         """Derive a child :class:`RngStreams` (for nested experiment sweeps)."""
         return RngStreams(derive_seed(self.master_seed, f"spawn:{name}"))
 
+    def reseed(self, master_seed: int) -> None:
+        """Re-key every stream under a new master seed.
+
+        Existing memoised generators are dropped; the next ``stream(name)``
+        derives fresh from the new seed.  Used by :meth:`Machine.fork` to
+        give each forked machine an independent but reproducible random
+        future while its *state* (already materialised from the old seed)
+        stays shared.  Consumers that must stay pinned to the construction
+        seed — the weak-cell map is the canonical case — capture the seed
+        at construction time instead of re-reading ``master_seed``.
+        """
+        if not isinstance(master_seed, int):
+            raise TypeError(f"master_seed must be an int, got {type(master_seed).__name__}")
+        self.master_seed = master_seed
+        self._py_streams.clear()
+        self._np_streams.clear()
+
     def __repr__(self) -> str:
         return f"RngStreams(master_seed={self.master_seed})"

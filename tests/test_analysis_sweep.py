@@ -1,0 +1,119 @@
+"""Sweep grid generation, aggregation, and warm/fork trial machines."""
+
+import pytest
+
+from repro.analysis.sweep import Sweep, SweepPoint
+from repro.core import Machine, MachineConfig
+from repro.sim.units import MS
+
+
+class TestGrid:
+    def test_grid_preserves_parameter_order(self):
+        sweep = Sweep(
+            MachineConfig.small(),
+            trial_fn=lambda machine, param: param,
+            name="grid",
+        )
+        points = sweep.run([4, 1, 3], trials=2)
+        assert [point.parameter for point in points] == [4, 1, 3]
+        assert all(point.outcomes == [point.parameter] * 2 for point in points)
+
+    def test_every_point_runs_every_trial(self):
+        sweep = Sweep(
+            MachineConfig.small(),
+            trial_fn=lambda machine, param: machine.rng.master_seed,
+            name="grid",
+        )
+        points = sweep.run(["a", "b"], trials=3)
+        assert all(point.trials == 3 for point in points)
+        # Seeds are derived per (point, trial): all six are distinct.
+        seeds = [seed for point in points for seed in point.outcomes]
+        assert len(set(seeds)) == 6
+
+    def test_grid_is_reproducible(self):
+        def trial(machine, param):
+            return machine.rng.master_seed
+
+        runs = [
+            Sweep(MachineConfig.small(seed=9), trial_fn=trial, name="rep").run(
+                [1, 2], trials=2
+            )
+            for _ in range(2)
+        ]
+        assert [p.outcomes for p in runs[0]] == [p.outcomes for p in runs[1]]
+
+
+class TestAggregation:
+    def test_successes_counts_truthy_outcomes(self):
+        point = SweepPoint(parameter="x", outcomes=[True, 0, 1, None, "yes"])
+        assert point.successes() == 3
+        assert point.trials == 5
+
+    def test_success_rate_across_grid(self):
+        sweep = Sweep(
+            MachineConfig.small(),
+            trial_fn=lambda machine, param: machine.rng.master_seed % param == 0,
+            name="rate",
+        )
+        points = sweep.run([1, 2], trials=4)
+        assert points[0].successes() == 4  # everything divides by 1
+        assert 0 <= points[1].successes() <= 4
+
+    def test_zero_trials_rejected(self):
+        sweep = Sweep(MachineConfig.small(), trial_fn=lambda m, p: True)
+        with pytest.raises(ValueError):
+            sweep.run_point("x", 0)
+
+
+class TestWarmForkMode:
+    def test_warm_fn_called_once_per_point(self):
+        calls = []
+
+        def warm(config):
+            calls.append(config.seed)
+            return Machine(config)
+
+        sweep = Sweep(
+            MachineConfig.small(),
+            trial_fn=lambda machine, param: machine.rng.master_seed,
+            name="warm",
+            warm_fn=warm,
+        )
+        sweep.run([1, 2], trials=3)
+        assert len(calls) == 2
+        assert len(set(calls)) == 2  # per-point warm seeds are distinct
+
+    def test_fork_trials_match_rebuild_trials(self):
+        """The trial seed, not the warm seed, keys each trial's randomness,
+        so fork mode reproduces rebuild mode's outcomes exactly."""
+
+        def trial(machine, param):
+            return machine.rng.master_seed
+
+        rebuild = Sweep(MachineConfig.small(seed=3), trial_fn=trial, name="eq")
+        fork = Sweep(
+            MachineConfig.small(seed=3), trial_fn=trial, name="eq", warm_fn=Machine
+        )
+        assert (
+            rebuild.run_point("p", 3).outcomes == fork.run_point("p", 3).outcomes
+        )
+
+    def test_forked_trials_share_warm_state_but_not_mutations(self):
+        def warm(config):
+            machine = Machine(config)
+            machine.run_until(10 * MS)
+            return machine
+
+        seen = []
+
+        def trial(machine, param):
+            seen.append(machine.clock.now_ns)
+            machine.run_until(machine.clock.now_ns + 5 * MS)
+            return True
+
+        sweep = Sweep(
+            MachineConfig.small(), trial_fn=trial, name="state", warm_fn=warm
+        )
+        sweep.run_point("p", 3)
+        # Every trial starts from the warm clock; no trial sees another's advance.
+        assert seen == [10 * MS, 10 * MS, 10 * MS]

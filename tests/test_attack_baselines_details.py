@@ -1,7 +1,5 @@
 """Baseline attacks: outcome bookkeeping and privileged mechanics."""
 
-import pytest
-
 from repro.attack.baselines import BaselineOutcome, PagemapAttack, RandomSprayAttack
 from repro.attack.templating import TemplatorConfig
 from repro.core import Machine, MachineConfig

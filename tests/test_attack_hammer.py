@@ -3,7 +3,6 @@
 import pytest
 
 from repro.attack.hammer import Hammerer
-from repro.dram.geometry import DRAMAddress
 from repro.sim.errors import ConfigError
 from repro.sim.units import PAGE_SIZE
 

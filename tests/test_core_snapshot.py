@@ -1,0 +1,167 @@
+"""Machine snapshot/fork semantics and event-core integration.
+
+Two claims are under test:
+
+1. A forked machine is *independent* (mutations never alias the
+   original) yet *identical in destiny*: forking a warm machine and
+   re-keying its RNG produces bit-for-bit the same behaviour as
+   rebuilding from scratch with that seed.
+2. With ``timed_core="events"`` every recurring behaviour — DRAM
+   refresh, kswapd, scheduler ticks, watchdog scans, chaos pump points —
+   verifiably routes through the :class:`EventScheduler`/:class:`EventBus`
+   (asserted via the observability counters).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.attack.explframe import ExplFrameConfig
+from repro.attack.orchestrator import AttackCampaign
+from repro.attack.templating import TemplatorConfig
+from repro.core import Machine, MachineConfig
+from repro.defense.watchdog import WatchdogConfig
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.sim.chaos import ChaosEngine, chaos_profile
+from repro.sim.units import MIB, MS
+
+FAST = ExplFrameConfig(
+    templator=TemplatorConfig(buffer_bytes=4 * MIB, rounds=650_000, batch_pairs=8)
+)
+
+
+def vulnerable_config(seed=7, timed_core="events"):
+    return MachineConfig(
+        seed=seed,
+        geometry=DRAMGeometry.small(),
+        flip_model=FlipModelConfig.highly_vulnerable(),
+        timed_core=timed_core,
+    )
+
+
+class TestSnapshotFork:
+    def test_fork_preserves_clock_and_pending_events(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        machine.run_until(10 * MS)
+        fork = machine.fork()
+        assert fork.clock.now_ns == machine.clock.now_ns
+        assert fork.events.pending() == machine.events.pending()
+
+    def test_fork_is_independent_of_original(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        fork = machine.fork()
+        fork.run_until(50 * MS)
+        assert machine.clock.now_ns == 0
+        assert fork.clock.now_ns == 50 * MS
+
+    def test_fork_gets_fresh_observability(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        machine.run_until(10 * MS)
+        before = machine.obs.metrics.snapshot()["sim.events.scheduled"]
+        fork = machine.fork()
+        assert fork.obs is not machine.obs
+        # The fork's hub starts clean; the original's is untouched.
+        assert fork.obs.metrics.snapshot()["sim.events.scheduled"] == 0
+        assert machine.obs.metrics.snapshot()["sim.events.scheduled"] == before
+
+    def test_fork_reseed_rekeys_rng_without_touching_original(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        fork = machine.fork(seed=123)
+        assert fork.rng.master_seed == 123
+        assert machine.rng.master_seed == 0
+
+    def test_same_seed_forks_share_a_destiny(self):
+        snapshot = Machine(MachineConfig.small(seed=0)).snapshot()
+        twin_a, _ = snapshot.fork(seed=5)
+        twin_b, _ = snapshot.fork(seed=5)
+        twin_a.run_until(100 * MS)
+        twin_b.run_until(100 * MS)
+        assert twin_a.stats() == twin_b.stats()
+
+    def test_snapshot_extras_ride_along(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        snapshot = machine.snapshot(extras={"tag": [1, 2, 3]})
+        _, extras_a = snapshot.fork()
+        _, extras_b = snapshot.fork()
+        assert extras_a == {"tag": [1, 2, 3]}
+        extras_a["tag"].append(4)
+        assert extras_b == {"tag": [1, 2, 3]}
+
+    def test_polled_machine_has_no_event_core(self):
+        machine = Machine(replace(MachineConfig.small(seed=0), timed_core="polled"))
+        assert machine.events is None and machine.bus is None
+        assert machine.run_until(10 * MS) == 0
+        assert machine.clock.now_ns == 10 * MS
+        assert machine.step() is None
+
+
+class TestEventCoreIntegration:
+    def test_refresh_dispatches_through_dram_queue(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        refw = machine.controller.effective_refw_ns()
+        machine.run_until(3 * refw + 1)
+        snap = machine.obs.metrics.snapshot()
+        assert snap["sim.events.dispatched{queue=dram}"] >= 3
+
+    def test_scheduler_ticks_through_os_queue(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        machine.run_until(20 * MS)
+        snap = machine.obs.metrics.snapshot()
+        assert machine.scheduler.ticks == 20 * MS // machine.scheduler.TIMESLICE_NS
+        assert snap["os.sched.ticks"] == machine.scheduler.ticks
+        assert snap["sim.events.dispatched{queue=os}"] >= machine.scheduler.ticks
+
+    def test_kswapd_wake_arms_mm_queue_event(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        zone = next(iter(machine.node.zones.values()))
+        machine.kswapd.wake(zone)
+        assert machine.events.pending("mm") == 1
+        machine.events.dispatch_due("mm")
+        assert machine.kswapd.runs == 1
+        assert machine.events.pending("mm") == 0
+        snap = machine.obs.metrics.snapshot()
+        assert snap["sim.events.dispatched{queue=mm}"] == 1
+
+    def test_direct_reclaim_disarms_the_wake_event(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        zone = next(iter(machine.node.zones.values()))
+        machine.kswapd.wake(zone)
+        machine.kswapd.run()  # OOM-path direct reclaim, out of band
+        machine.events.dispatch_due("mm")
+        assert machine.kswapd.runs == 1  # the armed event did not double-run
+
+    def test_watchdog_scans_on_defense_queue(self):
+        config = replace(MachineConfig.small(seed=0), watchdog=WatchdogConfig())
+        machine = Machine(config)
+        machine.run_until(200 * MS)
+        snap = machine.obs.metrics.snapshot()
+        assert machine.watchdog.scans >= 3
+        assert snap["defense.watchdog.scans"] == machine.watchdog.scans
+        assert snap["sim.events.dispatched{queue=defense}"] >= machine.watchdog.scans
+
+    def test_syscalls_publish_on_the_bus_and_reach_chaos(self):
+        machine = Machine(MachineConfig.small(seed=0))
+        engine = ChaosEngine(machine.kernel, chaos_profile("steal"))
+        machine.kernel.spawn("victim")
+        snap = machine.obs.metrics.snapshot()
+        assert snap["sim.bus.published"] >= 1
+        assert snap["chaos.pumps"] >= 1
+        assert engine is machine.kernel.chaos
+
+
+@pytest.mark.slow
+class TestCampaignForkEquivalence:
+    def test_fork_campaign_matches_rebuild_digest(self):
+        """The headline claim: forking a warm machine per attempt is
+        bit-identical to rebuilding and re-templating per attempt."""
+        config = vulnerable_config(seed=7)
+        digests = []
+        for fork in (False, True):
+            campaign = AttackCampaign(
+                config, 2, attack_config=FAST, fork_from_template=fork
+            )
+            result = campaign.run()
+            assert result.successes == 2
+            digests.append(result.digest())
+        assert digests[0] == digests[1]

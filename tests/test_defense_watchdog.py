@@ -98,8 +98,6 @@ class TestSeparation:
         assert worker.pid not in watchdog.flagged_pids()
 
     def test_victim_encryptions_not_flagged(self, small_machine):
-        import numpy as np
-
         from repro.ciphers.table_memory import CipherVictim
 
         kernel = small_machine.kernel

@@ -1,7 +1,5 @@
 """Cross-stack integration invariants."""
 
-import pytest
-
 from repro.core import Machine, MachineConfig
 from repro.mm.page import PageFlags
 from repro.sim.units import PAGE_SIZE

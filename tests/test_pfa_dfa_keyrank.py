@@ -58,7 +58,6 @@ class TestGiraud:
 
     def test_full_key_recovered(self):
         aes = AES(KEY)
-        k10 = expand_key(KEY)[10]
         import random
 
         rng = random.Random(0)

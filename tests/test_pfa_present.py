@@ -133,7 +133,6 @@ class TestMasterKeyRecovery:
         _, state = saturated
         pt = bytes(8)
         ct = Present(KEY).encrypt_block(pt)
-        true_low = int.from_bytes(KEY, "big") & 0xFFFF
         register = self._true_register_low16()
         window = range(max(0, register - 32), register + 32)
         key = recover_present80_key(state, V_STAR, pt, ct, low_bits_candidates=window)

@@ -8,7 +8,6 @@ from repro.dram.geometry import DRAMGeometry
 from repro.sim.chaos import (
     CHAOS_PROFILES,
     AllocationPressure,
-    AttackerMigration,
     ChaosEngine,
     ChaosPlan,
     HammerInterference,
@@ -151,7 +150,7 @@ class TestFiringSemantics:
 class TestLayerEffects:
     def test_threshold_drift_scales_controller(self):
         m = machine()
-        engine = ChaosEngine(
+        ChaosEngine(
             m.kernel, ChaosPlan("p", (ThresholdDrift(hook="munmap", scale=8.0),))
         )
         task = m.kernel.spawn("t", cpu=0)
@@ -160,7 +159,7 @@ class TestLayerEffects:
 
     def test_windowed_drift_expires(self):
         m = machine()
-        engine = ChaosEngine(
+        ChaosEngine(
             m.kernel,
             ChaosPlan("p", (ThresholdDrift(hook="munmap", scale=8.0, duration_ns=5 * MS),)),
         )
@@ -174,7 +173,7 @@ class TestLayerEffects:
     def test_refresh_jitter_shrinks_window(self):
         m = machine()
         base = m.kernel.controller.effective_refw_ns()
-        engine = ChaosEngine(
+        ChaosEngine(
             m.kernel, ChaosPlan("p", (RefreshJitter(hook="munmap", scale=0.5),))
         )
         task = m.kernel.spawn("t", cpu=0)
@@ -183,7 +182,7 @@ class TestLayerEffects:
 
     def test_migration_moves_attacker(self):
         m = machine()
-        engine = ChaosEngine(m.kernel, chaos_profile("migrate"))
+        ChaosEngine(m.kernel, chaos_profile("migrate"))
         task = m.kernel.spawn("t", cpu=0)
         churn_once(m.kernel, task.pid)
         assert m.kernel.task(task.pid).cpu != 0
@@ -194,7 +193,7 @@ class TestLayerEffects:
         va = m.kernel.sys_mmap(task.pid, PAGE_SIZE)
         m.kernel.mem_write(task.pid, va, b"x")
         staged_pfn = m.kernel.pfn_of(task.pid, va)
-        engine = ChaosEngine(m.kernel, chaos_profile("steal"))
+        ChaosEngine(m.kernel, chaos_profile("steal"))
         m.kernel.sys_munmap(task.pid, va, PAGE_SIZE)  # stage + chaos fires
         victim = m.kernel.spawn("victim", cpu=0)
         victim_va = m.kernel.sys_mmap(victim.pid, PAGE_SIZE)

@@ -1,0 +1,264 @@
+"""EventScheduler / EventBus semantics: ordering, recurrence, cancellation."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.sim.clock import SimClock
+from repro.sim.errors import ConfigError
+from repro.sim.events import TOPIC_SYSCALL, EventBus, EventScheduler, SyscallHook
+
+
+def make_scheduler(start_ns: int = 0) -> EventScheduler:
+    return EventScheduler(SimClock(start_ns=start_ns))
+
+
+class Recorder:
+    """Callback target that records (name, fired_at) pairs."""
+
+    def __init__(self):
+        self.log: list[tuple[str, int]] = []
+
+    def cb(self, name):
+        def _record(now_ns: int) -> None:
+            self.log.append((name, now_ns))
+
+        return _record
+
+
+class TestScheduling:
+    def test_past_due_rejected(self):
+        events = make_scheduler(start_ns=100)
+        with pytest.raises(ConfigError):
+            events.schedule("late", 99, lambda now: None)
+
+    def test_non_positive_period_rejected(self):
+        events = make_scheduler()
+        with pytest.raises(ConfigError):
+            events.schedule("bad", 10, lambda now: None, period_ns=0)
+
+    def test_negative_delay_rejected(self):
+        events = make_scheduler()
+        with pytest.raises(ConfigError):
+            events.schedule_in("bad", -1, lambda now: None)
+
+    def test_schedule_in_is_relative(self):
+        events = make_scheduler(start_ns=50)
+        handle = events.schedule_in("x", 25, lambda now: None)
+        assert handle.due_ns == 75
+
+    def test_pending_counts_live_events(self):
+        events = make_scheduler()
+        events.schedule("a", 10, lambda now: None, queue="q1")
+        handle = events.schedule("b", 20, lambda now: None, queue="q2")
+        assert events.pending() == 2
+        assert events.pending("q1") == 1
+        handle.cancel()
+        assert events.pending() == 1
+        assert events.queues() == ["q1"]
+
+
+class TestDispatchOrdering:
+    def test_due_order_then_seq_tie_break(self):
+        events = make_scheduler()
+        rec = Recorder()
+        events.schedule("second", 10, rec.cb("second"))
+        events.schedule("tie-a", 5, rec.cb("tie-a"))
+        events.schedule("tie-b", 5, rec.cb("tie-b"))
+        events.run_until(10)
+        assert rec.log == [("tie-a", 5), ("tie-b", 5), ("second", 10)]
+
+    def test_global_order_spans_queues(self):
+        events = make_scheduler()
+        rec = Recorder()
+        events.schedule("os-event", 7, rec.cb("os"), queue="os")
+        events.schedule("dram-event", 3, rec.cb("dram"), queue="dram")
+        events.run_until(10)
+        assert rec.log == [("dram", 3), ("os", 7)]
+
+    def test_queue_scoped_dispatch_ignores_other_queues(self):
+        events = make_scheduler(start_ns=10)
+        rec = Recorder()
+        events.schedule("mine", 10, rec.cb("mine"), queue="dram")
+        events.schedule("other", 10, rec.cb("other"), queue="mm")
+        fired = events.dispatch_due("dram")
+        assert fired == 1
+        assert rec.log == [("mine", 10)]
+        assert events.pending("mm") == 1
+
+    def test_dispatch_barrier_defers_events_scheduled_mid_pass(self):
+        events = make_scheduler(start_ns=10)
+        rec = Recorder()
+
+        def reschedule(now_ns: int) -> None:
+            rec.log.append(("first", now_ns))
+            events.schedule("again", now_ns, rec.cb("again"))
+
+        events.schedule("first", 10, reschedule)
+        assert events.dispatch_due() == 1
+        assert rec.log == [("first", 10)]
+        assert events.dispatch_due() == 1
+        assert rec.log == [("first", 10), ("again", 10)]
+
+    def test_future_events_stay_pending(self):
+        events = make_scheduler()
+        rec = Recorder()
+        events.schedule("later", 100, rec.cb("later"))
+        assert events.dispatch_due() == 0
+        assert rec.log == []
+
+
+class TestRecurring:
+    def test_recurring_re_arms_each_period(self):
+        events = make_scheduler()
+        rec = Recorder()
+        events.schedule("tick", 10, rec.cb("tick"), period_ns=10)
+        events.run_until(35)
+        assert rec.log == [("tick", 10), ("tick", 20), ("tick", 30)]
+        assert events.clock.now_ns == 35
+
+    def test_missed_periods_coalesce(self):
+        events = make_scheduler()
+        rec = Recorder()
+        events.schedule("tick", 10, rec.cb("tick"), period_ns=10)
+        events.run_until(10)
+        # Jump far past several periods without dispatching; the next
+        # firing is the first phase-aligned boundary after now, not a
+        # replay of every missed one.
+        events.clock.advance_to(47)
+        events.dispatch_due()
+        events.run_until(60)
+        assert rec.log == [("tick", 10), ("tick", 47), ("tick", 50), ("tick", 60)]
+
+    def test_cancelling_recurring_from_its_own_callback_stops_it(self):
+        events = make_scheduler()
+        rec = Recorder()
+        handle = {}
+
+        def once(now_ns: int) -> None:
+            rec.log.append(("tick", now_ns))
+            handle["h"].cancel()
+
+        handle["h"] = events.schedule("tick", 10, once, period_ns=10)
+        events.run_until(50)
+        assert rec.log == [("tick", 10)]
+        assert events.pending() == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self):
+        events = make_scheduler()
+        rec = Recorder()
+        handle = events.schedule("x", 10, rec.cb("x"))
+        events.cancel(handle)
+        assert not handle.active
+        events.run_until(20)
+        assert rec.log == []
+
+    def test_double_cancel_counts_once(self):
+        events = make_scheduler()
+        handle = events.schedule("x", 10, lambda now: None)
+        events.cancel(handle)
+        events.cancel(handle)
+        assert events.cancelled_total == 1
+
+
+class TestStepAndRunUntil:
+    def test_step_advances_to_next_event(self):
+        events = make_scheduler()
+        rec = Recorder()
+        events.schedule("a", 15, rec.cb("a"))
+        events.schedule("b", 40, rec.cb("b"))
+        assert events.step() == 15
+        assert events.clock.now_ns == 15
+        assert events.step() == 40
+        assert events.step() is None
+        assert rec.log == [("a", 15), ("b", 40)]
+
+    def test_run_until_lands_exactly_on_target(self):
+        events = make_scheduler()
+        assert events.run_until(123) == 0
+        assert events.clock.now_ns == 123
+
+    def test_run_until_backwards_rejected(self):
+        events = make_scheduler(start_ns=100)
+        with pytest.raises(ConfigError):
+            events.run_until(99)
+
+    def test_next_due_ns(self):
+        events = make_scheduler()
+        assert events.next_due_ns() is None
+        events.schedule("a", 30, lambda now: None, queue="q")
+        events.schedule("b", 20, lambda now: None, queue="r")
+        assert events.next_due_ns() == 20
+        assert events.next_due_ns("q") == 30
+        assert events.next_due_ns("missing") is None
+
+
+class TestStatsAndObs:
+    def test_stats_track_lifetime_counts(self):
+        events = make_scheduler()
+        handle = events.schedule("a", 10, lambda now: None)
+        events.schedule("b", 20, lambda now: None)
+        events.cancel(handle)
+        events.run_until(30)
+        assert events.stats() == {
+            "scheduled": 2,
+            "dispatched": 1,
+            "cancelled": 1,
+            "pending": 0,
+        }
+
+    def test_metrics_labelled_by_queue(self):
+        events = make_scheduler()
+        obs = Observability()
+        events.bind_obs(obs)
+        events.schedule("a", 10, lambda now: None, queue="dram")
+        events.schedule("b", 10, lambda now: None, queue="mm")
+        events.run_until(10)
+        snap = obs.metrics.snapshot()
+        assert snap["sim.events.scheduled"] == 2
+        assert snap["sim.events.dispatched{queue=dram}"] == 1
+        assert snap["sim.events.dispatched{queue=mm}"] == 1
+        assert snap["sim.events.pending"] == 0
+
+
+class TestEventBus:
+    def test_publish_delivers_in_subscription_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("t", lambda payload: order.append(("first", payload)))
+        bus.subscribe("t", lambda payload: order.append(("second", payload)))
+        assert bus.publish("t", 42) == 2
+        assert order == [("first", 42), ("second", 42)]
+
+    def test_publish_without_subscribers_is_safe(self):
+        bus = EventBus()
+        assert bus.publish("empty", None) == 0
+        assert bus.published_total == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        hits = []
+        bus.subscribe("t", hits.append)
+        assert bus.unsubscribe("t", hits.append)
+        assert not bus.unsubscribe("t", hits.append)
+        bus.publish("t", 1)
+        assert hits == []
+        assert bus.subscriber_count("t") == 0
+
+    def test_empty_topic_rejected(self):
+        bus = EventBus()
+        with pytest.raises(ConfigError):
+            bus.subscribe("", lambda payload: None)
+
+    def test_syscall_hook_payload(self):
+        hook = SyscallHook(hook="mmap", pid=3, time_ns=99)
+        assert TOPIC_SYSCALL == "os.syscall"
+        assert (hook.hook, hook.pid, hook.time_ns) == ("mmap", 3, 99)
+
+    def test_bus_metric(self):
+        bus = EventBus()
+        obs = Observability()
+        bus.bind_obs(obs)
+        bus.publish("t", 1)
+        assert obs.metrics.snapshot()["sim.bus.published"] == 1
