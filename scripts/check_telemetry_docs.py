@@ -34,6 +34,7 @@ from repro.attack.orchestrator import (  # noqa: E402
 from repro.attack.templating import TemplatorConfig  # noqa: E402
 from repro.core import Machine, MachineConfig  # noqa: E402
 from repro.defense.watchdog import WatchdogConfig  # noqa: E402
+from repro.parallel.pool import register_pool_metrics  # noqa: E402
 from repro.sim.chaos import ChaosEngine, chaos_profile  # noqa: E402
 from repro.sim.units import MIB  # noqa: E402
 
@@ -55,6 +56,10 @@ def registered_families() -> set[str]:
         ),
     )
     AttackOrchestrator(attack, OrchestratorConfig())
+    # The campaign.pool.* family lives on a pool-side registry (campaign
+    # results carry its snapshot), not on any machine component — attach
+    # it here so the doc cross-check covers it.
+    register_pool_metrics(machine.obs.metrics)
     # Drive past one scheduler tick so lazily-created per-queue families
     # (sim.events.dispatched{queue=...}) register.
     machine.run_until(machine.scheduler.TIMESLICE_NS)

@@ -51,6 +51,13 @@ class Sweep:
     must return a warm :class:`Machine` (built from the point's config,
     driven to whatever state the trials should start from), which is
     snapshotted once per grid point and forked per trial.
+
+    With ``workers > 1`` grid points are dispatched across a process
+    pool (:func:`repro.parallel.pool.run_sweep`) at point granularity —
+    each point's seed chain is self-contained, so the outcomes are
+    identical to the serial order regardless of worker count.  The
+    callables and outcomes then cross process boundaries: use
+    module-level functions and plain-data outcomes.
     """
 
     def __init__(
@@ -59,11 +66,15 @@ class Sweep:
         trial_fn: Callable[[Machine, object], object],
         name: str = "sweep",
         warm_fn: Callable[[MachineConfig], Machine] | None = None,
+        workers: int = 1,
     ):
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
         self.base_config = base_config
         self.trial_fn = trial_fn
         self.name = name
         self.warm_fn = warm_fn
+        self.workers = workers
 
     def _trial_seed(self, parameter: object, trial: int) -> int:
         return derive_seed(
@@ -94,5 +105,9 @@ class Sweep:
         return point
 
     def run(self, parameters: list[object], trials: int) -> list[SweepPoint]:
-        """Run the whole grid."""
+        """Run the whole grid (on the worker pool when ``workers > 1``)."""
+        if self.workers > 1 and len(parameters) > 1:
+            from repro.parallel.pool import run_sweep
+
+            return run_sweep(self, parameters, trials)
         return [self.run_point(parameter, trials) for parameter in parameters]

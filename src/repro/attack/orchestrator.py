@@ -622,12 +622,18 @@ class CampaignResult:
     """Outcome of an N-attempt campaign.
 
     ``digest()`` hashes every attempt's canonical report JSON, in order —
-    the equality witness that the fork and rebuild strategies (and the
-    event-driven and polled cores) produce literally the same attacks.
+    the equality witness that the fork and rebuild strategies, the
+    event-driven and polled cores, and every worker count produce
+    literally the same attacks.  ``metrics`` (the per-attempt registries
+    merged with :func:`~repro.obs.metrics.merge_metric_states`) and
+    ``pool`` (worker-pool stats: wall times, pids) ride outside the
+    digest — the former is order-deterministic, the latter is host noise.
     """
 
     reports: tuple[AttackRunReport, ...]
     mode: str  # "fork" | "rebuild"
+    metrics: dict | None = None
+    pool: dict | None = None
 
     @property
     def attempts(self) -> int:
@@ -648,13 +654,18 @@ class CampaignResult:
         return hasher.hexdigest()
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "mode": self.mode,
             "attempts": self.attempts,
             "successes": self.successes,
             "digest": self.digest(),
             "reports": [report.to_dict() for report in self.reports],
         }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        if self.pool is not None:
+            out["pool"] = self.pool
+        return out
 
 
 class AttackCampaign:
@@ -679,7 +690,24 @@ class AttackCampaign:
     Determinism makes them equivalent by construction: a rebuilt machine
     reaches bit-identical post-templating state, so reseeding it matches
     reseeding a fork, and :meth:`CampaignResult.digest` comes out equal.
+
+    With ``workers > 1`` the attempts are dispatched across a process
+    pool (see :mod:`repro.parallel.pool`); ``pool_mode`` picks whether
+    the warm snapshot is pickled once and shipped to every worker
+    (``"ship"``) or each worker re-warms from the config (``"rewarm"``).
+    The digest is identical for every ``workers`` value by construction:
+    attempt ``i`` always runs on a fork re-keyed with
+    ``derive_seed(base_seed, "campaign/i")``, and reports are ordered by
+    attempt index before hashing (docs/CAMPAIGNS.md).
+
+    A non-``"none"`` ``chaos_profile`` attaches a per-attempt
+    :class:`~repro.sim.chaos.ChaosPlan` derived from the attempt seed
+    (:func:`~repro.sim.chaos.chaos_plan_for_attempt`) to each attempt's
+    machine after the reseed, so adversity varies across attempts but is
+    a pure function of (profile, attempt seed, intensity).
     """
+
+    POOL_MODES = ("ship", "rewarm")
 
     def __init__(
         self,
@@ -689,14 +717,33 @@ class AttackCampaign:
         attack_config: ExplFrameConfig | None = None,
         orchestrator_config: OrchestratorConfig | None = None,
         fork_from_template: bool = True,
+        chaos_profile: str = "none",
+        chaos_intensity: float = 1.0,
+        workers: int = 1,
+        pool_mode: str = "ship",
     ):
         if attempts <= 0:
             raise ConfigError(f"attempts must be positive, got {attempts}")
+        if workers < 1:
+            raise ConfigError(f"workers must be at least 1, got {workers}")
+        if pool_mode not in self.POOL_MODES:
+            raise ConfigError(
+                f"unknown pool_mode {pool_mode!r}; expected one of {self.POOL_MODES}"
+            )
         self.base_config = base_config
         self.attempts = attempts
         self.attack_config = attack_config or ExplFrameConfig()
         self.orchestrator_config = orchestrator_config or OrchestratorConfig()
         self.fork_from_template = fork_from_template
+        self.chaos_profile = chaos_profile
+        self.chaos_intensity = chaos_intensity
+        self.workers = workers
+        self.pool_mode = pool_mode
+
+    @property
+    def mode(self) -> str:
+        """The strategy label reports carry: ``"fork"`` or ``"rebuild"``."""
+        return "fork" if self.fork_from_template else "rebuild"
 
     def _attempt_seed(self, index: int) -> int:
         return derive_seed(self.base_config.seed, f"campaign/{index}")
@@ -712,29 +759,77 @@ class AttackCampaign:
         )
         return machine, attack, candidates
 
-    def _run_attempt(self, machine, attack, candidates, index: int) -> AttackRunReport:
-        machine.rng.reseed(self._attempt_seed(index))
+    def _warm_snapshot(self):
+        """Warm once and freeze (machine + attack + candidates) for forking."""
+        machine, attack, candidates = self._warm()
+        return machine.snapshot(
+            extras={"attack": attack, "candidates": candidates}
+        )
+
+    def _run_attempt(self, machine, attack, candidates, index: int):
+        """Run attempt ``index`` on its machine; (report, metrics dump).
+
+        The reseed happens first, then the per-attempt chaos plan (if
+        any) attaches — identical ordering in serial, pooled, fork and
+        rebuild execution, which is what keeps the digest mode- and
+        worker-count-independent.
+        """
+        seed = self._attempt_seed(index)
+        machine.rng.reseed(seed)
+        if self.chaos_profile != "none":
+            from repro.sim.chaos import ChaosEngine, chaos_plan_for_attempt
+
+            plan = chaos_plan_for_attempt(
+                self.chaos_profile, seed, self.chaos_intensity
+            )
+            ChaosEngine(machine.kernel, plan)
         orchestrator = AttackOrchestrator(
             attack, self.orchestrator_config, candidates=candidates
         )
-        return orchestrator.run()
+        report = orchestrator.run()
+        return report, machine.obs.metrics.export_state()
+
+    def _run_attempt_fresh(self, index: int):
+        """Attempt ``index`` on its own machine (rebuild-mode unit of work)."""
+        machine, attack, candidates = self._warm()
+        return self._run_attempt(machine, attack, candidates, index)
+
+    def _finish(self, outcomes, pool: dict | None) -> CampaignResult:
+        """Assemble the result from ordered (report, metrics dump) pairs."""
+        from repro.obs.metrics import merge_metric_states
+
+        reports = tuple(report for report, _ in outcomes)
+        merged = merge_metric_states([state for _, state in outcomes])
+        return CampaignResult(
+            reports=reports, mode=self.mode, metrics=merged, pool=pool
+        )
 
     def run(self) -> CampaignResult:
         """Execute every attempt; returns the ordered results."""
+        if self.workers > 1:
+            from repro.parallel.pool import run_campaign
+
+            return run_campaign(self)
+        outcomes = []
         if not self.fork_from_template:
-            reports = []
             for index in range(self.attempts):
-                machine, attack, candidates = self._warm()
-                reports.append(self._run_attempt(machine, attack, candidates, index))
-            return CampaignResult(reports=tuple(reports), mode="rebuild")
-        machine, attack, candidates = self._warm()
-        snapshot = machine.snapshot(extras={"attack": attack, "candidates": candidates})
-        reports = []
-        for index in range(self.attempts):
-            forked, extras = snapshot.fork()
-            reports.append(
-                self._run_attempt(
-                    forked, extras["attack"], extras["candidates"], index
+                outcomes.append(self._run_attempt_fresh(index))
+        else:
+            snapshot = self._warm_snapshot()
+            for index in range(self.attempts):
+                forked, extras = snapshot.fork()
+                outcomes.append(
+                    self._run_attempt(
+                        forked, extras["attack"], extras["candidates"], index
+                    )
                 )
-            )
-        return CampaignResult(reports=tuple(reports), mode="fork")
+        from repro.parallel.pool import make_pool_block
+
+        pool = make_pool_block(
+            workers=1,
+            mode="serial",
+            dispatched=self.attempts,
+            completed=self.attempts,
+            worker_wall_ns={},
+        )
+        return self._finish(outcomes, pool)

@@ -187,15 +187,15 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
     With ``--fork-from-template`` the machine is built and templated once
     and every attempt runs on an independent fork of that warm state;
     otherwise each attempt rebuilds from scratch (same reports, slower).
+    ``--chaos`` derives a per-attempt plan from each attempt's seed, and
+    ``--workers N`` fans the attempts out across a process pool — the
+    report digest is identical for every worker count (docs/CAMPAIGNS.md).
     """
     from repro.attack.explframe import ExplFrameConfig
     from repro.attack.orchestrator import AttackCampaign, OrchestratorConfig
     from repro.attack.templating import TemplatorConfig
-    from repro.sim.errors import ConfigError
     from repro.sim.units import SECOND
 
-    if args.chaos != "none":
-        raise ConfigError("--campaign does not combine with --chaos (yet)")
     campaign = AttackCampaign(
         _vulnerable_config(args.seed, args.density),
         args.campaign,
@@ -210,6 +210,10 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
             deadline_ns=int(args.deadline * SECOND),
         ),
         fork_from_template=args.fork_from_template,
+        chaos_profile=args.chaos,
+        chaos_intensity=args.chaos_intensity,
+        workers=args.workers,
+        pool_mode=args.pool_mode,
     )
     result = campaign.run()
     if args.json:
@@ -221,11 +225,23 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
     print(f"attempts:             {result.attempts}")
     print(f"successes:            {result.successes}")
     print(f"report digest:        {result.digest()}")
+    if result.pool is not None:
+        workers = result.pool.get("campaign.pool.workers", 1)
+        mode = next(
+            (key.split("mode=", 1)[1].rstrip("}")
+             for key in result.pool if key.startswith("campaign.pool.mode{")),
+            "serial",
+        )
+        print(f"pool:                 {workers} worker(s), {mode} dispatch")
+    if args.chaos != "none":
+        fired = sum(len(report.chaos_events) for report in result.reports)
+        print(f"chaos events fired:   {fired} across {result.attempts} attempts")
     for index, report in enumerate(result.reports):
         outcome = "ok" if report.success else "FAIL"
         print(
             f"  [{index}] {outcome}  seed={report.seed}  "
             f"stages={report.attempts}  "
+            f"chaos={len(report.chaos_events)}  "
             f"sim={report.budget.sim_time_ns / 1e9:.2f}s"
         )
     return 0 if result.successes == result.attempts else 1
@@ -385,6 +401,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fork-from-template",
         action="store_true",
         help="with --campaign: template once and fork a warm machine per attempt",
+    )
+    attack.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --campaign: run attempts on N worker processes "
+        "(default 1 = in-process; the report digest is identical either way)",
+    )
+    attack.add_argument(
+        "--pool-mode",
+        choices=["ship", "rewarm"],
+        default="ship",
+        help="with --workers > 1 and --fork-from-template: ship the pickled "
+        "warm snapshot to workers (default) or re-warm in each worker",
     )
     from repro.sim.chaos import CHAOS_PROFILES
 

@@ -11,6 +11,7 @@ and re-templating per attempt.
 from __future__ import annotations
 
 import copy
+import pickle
 
 from repro.core.config import MachineConfig
 from repro.defense.watchdog import HammerWatchdog
@@ -77,6 +78,24 @@ class MachineSnapshot:
         if seed is not None:
             machine.rng.reseed(seed)
         return machine, extras
+
+    def to_bytes(self) -> bytes:
+        """Serialise the frozen state for shipping to worker processes.
+
+        The snapshot holds no live observability hub (the copy swapped
+        it for :data:`NOOP_OBS`, which pickles as the singleton), no open
+        files and no threads, so the pickled form is self-contained:
+        ``from_bytes`` in any process yields a snapshot whose forks are
+        byte-identical to forks taken in the parent (docs/CAMPAIGNS.md).
+        """
+        return pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MachineSnapshot":
+        """Rehydrate a snapshot previously serialised with :meth:`to_bytes`."""
+        snapshot = cls.__new__(cls)
+        snapshot._state = pickle.loads(blob)
+        return snapshot
 
 
 class Machine:

@@ -51,5 +51,18 @@ class Observability:
         self.tracer = Tracer(clock, enabled=trace_enabled, wall_time=wall_time)
 
 
+class _NoopObservability(Observability):
+    """The shared disabled hub; pickles back to the module singleton.
+
+    Machine snapshots replace the live hub with :data:`NOOP_OBS` during
+    the copy, so a snapshot shipped to a worker process must rehydrate
+    to *that worker's* singleton — forking then swaps in a fresh hub via
+    ``Machine._rebind_obs`` exactly as it does in-process.
+    """
+
+    def __reduce__(self):
+        return "NOOP_OBS"
+
+
 #: Shared disabled hub — the default every component is born bound to.
-NOOP_OBS = Observability(metrics_enabled=False)
+NOOP_OBS = _NoopObservability(metrics_enabled=False)

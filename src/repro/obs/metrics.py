@@ -18,11 +18,22 @@ Identity: a metric is addressed by its family name plus a sorted label
 set, rendered ``name{k=v,...}``.  Re-requesting the same identity returns
 the same instance; requesting it with a different kind raises
 :class:`~repro.sim.errors.ConfigError`.
+
+Campaign fan-out adds a fourth concern: *mergeability*.  Every attempt of
+an :class:`~repro.attack.orchestrator.AttackCampaign` runs on a forked
+machine with its own registry, so a campaign-level view needs the
+per-attempt registries combined.  :meth:`MetricsRegistry.export_state`
+dumps the raw (pre-cumulative) values and :func:`merge_metric_states`
+folds any number of such dumps into one block — counters summed,
+histograms added bucket-wise, gauges listed per source in order — with a
+result that depends only on the dump order, never on which process or
+worker produced each dump (see docs/CAMPAIGNS.md).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.sim.errors import ConfigError
@@ -36,6 +47,7 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_GAUGE",
     "NULL_HISTOGRAM",
+    "merge_metric_states",
 ]
 
 
@@ -121,6 +133,11 @@ class _NullCounter:
     def inc(self, amount: int = 1) -> None:
         pass
 
+    def __reduce__(self):
+        # Pickle (and deepcopy) as the module singleton so shipped
+        # machine snapshots keep sharing one stateless instrument.
+        return "NULL_COUNTER"
+
 
 class _NullGauge:
     kind = "gauge"
@@ -129,6 +146,9 @@ class _NullGauge:
     def set(self, value) -> None:
         pass
 
+    def __reduce__(self):
+        return "NULL_GAUGE"
+
 
 class _NullHistogram:
     kind = "histogram"
@@ -136,6 +156,9 @@ class _NullHistogram:
 
     def observe(self, value) -> None:
         pass
+
+    def __reduce__(self):
+        return "NULL_HISTOGRAM"
 
 
 NULL_COUNTER = _NullCounter()
@@ -246,6 +269,37 @@ class MetricsRegistry:
                 out[key] = family.instances[key].snapshot_value()
         return out
 
+    def export_state(self) -> dict:
+        """Raw, mergeable dump of every family (see :func:`merge_metric_states`).
+
+        Unlike :meth:`snapshot`, histogram buckets come out *per-bucket*
+        (not cumulative) so two dumps can be added bucket-wise.  The dump
+        is plain data — safe to pickle across process boundaries.
+        """
+        self.collect()
+        out: dict = {}
+        for name in sorted(self.families):
+            family = self.families[name]
+            instances: dict = {}
+            for key in sorted(family.instances):
+                metric = family.instances[key]
+                if family.kind == "histogram":
+                    instances[key] = {
+                        "bucket_counts": list(metric.bucket_counts),
+                        "count": metric.count,
+                        "sum": metric.sum,
+                    }
+                else:
+                    instances[key] = metric.value
+            out[name] = {
+                "kind": family.kind,
+                "unit": family.unit,
+                "help": family.help,
+                "buckets": list(family.buckets),
+                "instances": instances,
+            }
+        return out
+
     def render_table(self) -> str:
         """Human-readable dump of every instance (used by ``--metrics``)."""
         self.collect()
@@ -274,3 +328,93 @@ class MetricsRegistry:
 
 
 _HEADER = ("metric", "kind", "value", "unit")
+
+
+def _render_histogram(buckets: Sequence, bucket_counts: Sequence, count, total):
+    cumulative: dict[str, int] = {}
+    running = 0
+    for bound, n in zip(buckets, bucket_counts):
+        running += n
+        cumulative[f"le_{bound}"] = running
+    cumulative["le_inf"] = running + bucket_counts[-1]
+    return {"count": count, "sum": total, "buckets": cumulative}
+
+
+def merge_metric_states(states: Sequence[dict]) -> dict:
+    """Fold :meth:`MetricsRegistry.export_state` dumps into one block.
+
+    ``states`` is ordered (campaign attempt order); the result depends
+    only on that order, never on which worker produced each dump:
+
+    - counters: summed across every state where the instance appears;
+    - histograms: bucket counts added bucket-wise (bucket bounds must
+      agree across states), rendered cumulatively like a live snapshot;
+    - gauges: one value per source state, in order, ``None`` where the
+      instance is absent — a point-in-time value has no meaningful sum.
+    """
+    families: dict[str, dict] = {}
+    for index, state in enumerate(states):
+        for name, dump in state.items():
+            merged = families.get(name)
+            if merged is None:
+                merged = {
+                    "kind": dump["kind"],
+                    "unit": dump["unit"],
+                    "buckets": list(dump["buckets"]),
+                    "instances": {},
+                }
+                families[name] = merged
+            elif merged["kind"] != dump["kind"]:
+                raise ConfigError(
+                    f"metric {name!r} is {merged['kind']} in one state and "
+                    f"{dump['kind']} in another; cannot merge"
+                )
+            elif (
+                merged["kind"] == "histogram"
+                and merged["buckets"] != list(dump["buckets"])
+            ):
+                raise ConfigError(
+                    f"histogram {name!r} bucket bounds differ across states; "
+                    "cannot merge bucket-wise"
+                )
+            for key, raw in dump["instances"].items():
+                instances = merged["instances"]
+                if merged["kind"] == "counter":
+                    instances[key] = instances.get(key, 0) + raw
+                elif merged["kind"] == "gauge":
+                    values = instances.setdefault(key, [None] * index)
+                    values.extend([None] * (index - len(values)))
+                    values.append(raw)
+                else:
+                    slot = instances.get(key)
+                    if slot is None:
+                        slot = {
+                            "bucket_counts": [0] * len(raw["bucket_counts"]),
+                            "count": 0,
+                            "sum": 0,
+                        }
+                        instances[key] = slot
+                    for i, n in enumerate(raw["bucket_counts"]):
+                        slot["bucket_counts"][i] += n
+                    slot["count"] += raw["count"]
+                    slot["sum"] += raw["sum"]
+    out: dict = {"sources": len(states), "families": {}}
+    for name in sorted(families):
+        merged = families[name]
+        instances: dict = {}
+        for key in sorted(merged["instances"]):
+            raw = merged["instances"][key]
+            if merged["kind"] == "gauge":
+                raw = raw + [None] * (len(states) - len(raw))
+            elif merged["kind"] == "histogram":
+                raw = _render_histogram(
+                    merged["buckets"], raw["bucket_counts"],
+                    raw["count"], raw["sum"],
+                )
+            instances[key] = raw
+        out["families"][name] = {
+            "kind": merged["kind"],
+            "unit": merged["unit"],
+            "instances": instances,
+        }
+    return out

@@ -1,0 +1,19 @@
+"""Multiprocess execution backend for campaigns and sweeps.
+
+See :mod:`repro.parallel.pool` for the worker-pool layer and
+``docs/CAMPAIGNS.md`` for the execution contract it implements.
+"""
+
+from repro.parallel.pool import (
+    make_pool_block,
+    register_pool_metrics,
+    run_campaign,
+    run_sweep,
+)
+
+__all__ = [
+    "make_pool_block",
+    "register_pool_metrics",
+    "run_campaign",
+    "run_sweep",
+]

@@ -1,0 +1,244 @@
+"""Worker-pool dispatch of campaign attempts and sweep points.
+
+The contract (docs/CAMPAIGNS.md): parallel execution is an *engine*
+choice, never a *result* choice.  Attempt ``i`` of a campaign always
+runs on a machine re-keyed with ``derive_seed(base_seed, "campaign/i")``
+from the same warm state, so the per-attempt reports — and therefore
+:meth:`~repro.attack.orchestrator.CampaignResult.digest` — are
+byte-identical whether the attempts run serially, on 2 workers or on
+16, and regardless of completion order (reports are re-ordered by
+attempt index before merging).
+
+Two ways to get the warm state into a worker:
+
+* **ship** — the parent warms once, pickles the
+  :class:`~repro.core.machine.MachineSnapshot` with
+  :meth:`~repro.core.machine.MachineSnapshot.to_bytes`, and every worker
+  rehydrates it in its initializer.  One templating pass total; the blob
+  (a few MB for small geometries) crosses the process boundary once per
+  worker.
+* **rewarm** — each worker builds + templates from the pickled template
+  config in its initializer.  No big blob, but the warm cost is paid
+  once per worker; useful when the snapshot is large relative to the
+  warm time or the start method cannot share parent memory.
+
+``fork_from_template=False`` campaigns skip the snapshot entirely: each
+attempt rebuilds its own machine inside the worker (**rebuild**), which
+is the unit of work the serial rebuild path runs too.
+
+Per-worker telemetry cannot be deterministic (host wall time, pids), so
+it lives in the result's ``pool`` block — outside both the digest and
+the merged per-attempt ``metrics`` block.  The block's keys are the
+``campaign.pool.*`` family documented in docs/OBSERVABILITY.md and
+registered through :func:`register_pool_metrics` so the telemetry-docs
+checker covers them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "make_pool_block",
+    "register_pool_metrics",
+    "run_campaign",
+    "run_sweep",
+]
+
+# Per-worker-process state, populated by the pool initializer.  Workers
+# run attempts strictly sequentially, so no locking is needed.
+_STATE: dict = {}
+
+
+def _context():
+    """Prefer the fork start method (cheap COW of the warm parent)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-posix platforms
+        return multiprocessing.get_context()
+
+
+# -- campaign.pool.* telemetry ----------------------------------------------------
+
+
+def register_pool_metrics(registry, mode: str = "serial", workers_seen=(0,)):
+    """Register the ``campaign.pool.*`` family on ``registry``.
+
+    Returns the live handles; also the single source of truth the
+    telemetry-docs checker uses to learn the family exists.
+    """
+    return {
+        "workers": registry.gauge(
+            "campaign.pool.workers", unit="processes",
+            help="worker processes serving the campaign pool",
+        ),
+        "dispatched": registry.counter(
+            "campaign.pool.attempts_dispatched", unit="attempts",
+            help="attempts submitted to the pool",
+        ),
+        "completed": registry.counter(
+            "campaign.pool.attempts_completed", unit="attempts",
+            help="attempts whose reports were collected",
+        ),
+        "mode": registry.gauge(
+            "campaign.pool.mode", labels={"mode": mode}, unit="flag",
+            help="how warm state reached the workers: "
+            "serial, ship, rewarm or rebuild",
+        ),
+        "worker_wall": {
+            worker: registry.gauge(
+                "campaign.pool.worker_wall_ns",
+                labels={"worker": str(worker)}, unit="ns",
+                help="host wall time each worker spent inside attempts",
+            )
+            for worker in workers_seen
+        },
+    }
+
+
+def make_pool_block(
+    *, workers: int, mode: str, dispatched: int, completed: int, worker_wall_ns: dict
+) -> dict:
+    """The ``pool`` result block: a snapshot of the campaign.pool.* family.
+
+    ``worker_wall_ns`` maps stable worker indices (0..N-1) to summed
+    host-nanosecond attempt time.  The block is informational — host
+    wall times and worker partitioning are not deterministic — and is
+    therefore excluded from the campaign digest.
+    """
+    registry = MetricsRegistry(enabled=True)
+    handles = register_pool_metrics(
+        registry, mode=mode, workers_seen=sorted(worker_wall_ns)
+    )
+    handles["workers"].set(workers)
+    handles["dispatched"].inc(dispatched)
+    handles["completed"].inc(completed)
+    handles["mode"].set(1)
+    for worker, wall_ns in worker_wall_ns.items():
+        handles["worker_wall"][worker].set(wall_ns)
+    return registry.snapshot()
+
+
+# -- campaign dispatch -------------------------------------------------------------
+
+
+def _campaign_init(campaign, snapshot_blob, warm_locally) -> None:
+    """Pool initializer: stage the campaign's warm state in this worker."""
+    from repro.core.machine import MachineSnapshot
+
+    snapshot = None
+    if snapshot_blob is not None:
+        snapshot = MachineSnapshot.from_bytes(snapshot_blob)
+    elif warm_locally:
+        snapshot = campaign._warm_snapshot()
+    _STATE["campaign"] = campaign
+    _STATE["snapshot"] = snapshot
+
+
+def _campaign_attempt(index: int):
+    """Run one attempt in this worker; the unit of dispatched work."""
+    start = time.perf_counter_ns()
+    campaign = _STATE["campaign"]
+    snapshot = _STATE["snapshot"]
+    if snapshot is None:
+        report, metrics_state = campaign._run_attempt_fresh(index)
+    else:
+        machine, extras = snapshot.fork()
+        report, metrics_state = campaign._run_attempt(
+            machine, extras["attack"], extras["candidates"], index
+        )
+    wall_ns = time.perf_counter_ns() - start
+    return index, report, metrics_state, os.getpid(), wall_ns
+
+
+def run_campaign(campaign):
+    """Execute ``campaign`` on a process pool; called via ``workers > 1``.
+
+    Streams attempt reports back as they complete, then re-orders by
+    attempt index so the digest and the merged metrics block match the
+    serial path exactly.
+    """
+    workers = min(campaign.workers, campaign.attempts)
+    snapshot_blob = None
+    warm_locally = False
+    if campaign.fork_from_template:
+        mode = campaign.pool_mode
+        if mode == "ship":
+            snapshot_blob = campaign._warm_snapshot().to_bytes()
+        else:
+            warm_locally = True
+    else:
+        mode = "rebuild"
+    outcomes: list = [None] * campaign.attempts
+    wall_by_pid: dict[int, int] = {}
+    completed = 0
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_context(),
+        initializer=_campaign_init,
+        initargs=(campaign, snapshot_blob, warm_locally),
+    ) as pool:
+        futures = {
+            pool.submit(_campaign_attempt, index): index
+            for index in range(campaign.attempts)
+        }
+        for future in as_completed(futures):
+            index, report, metrics_state, pid, wall_ns = future.result()
+            outcomes[index] = (report, metrics_state)
+            wall_by_pid[pid] = wall_by_pid.get(pid, 0) + wall_ns
+            completed += 1
+    worker_wall_ns = {
+        worker: wall_by_pid[pid] for worker, pid in enumerate(sorted(wall_by_pid))
+    }
+    block = make_pool_block(
+        workers=workers,
+        mode=mode,
+        dispatched=campaign.attempts,
+        completed=completed,
+        worker_wall_ns=worker_wall_ns,
+    )
+    return campaign._finish(outcomes, block)
+
+
+# -- sweep dispatch ----------------------------------------------------------------
+
+
+def _sweep_init(sweep, trials) -> None:
+    _STATE["sweep"] = sweep
+    _STATE["trials"] = trials
+
+
+def _sweep_point(index: int, parameter):
+    point = _STATE["sweep"].run_point(parameter, _STATE["trials"])
+    return index, point
+
+
+def run_sweep(sweep, parameters: list, trials: int) -> list:
+    """Run one grid point per pool task; results ordered like the grid.
+
+    The sweep object (including ``trial_fn``/``warm_fn``) and every
+    trial outcome cross process boundaries, so with a non-fork start
+    method they must be picklable — module-level functions and plain
+    data, not lambdas or machine handles.
+    """
+    workers = min(sweep.workers, len(parameters)) or 1
+    points: list = [None] * len(parameters)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_context(),
+        initializer=_sweep_init,
+        initargs=(sweep, trials),
+    ) as pool:
+        futures = {
+            pool.submit(_sweep_point, index, parameter): index
+            for index, parameter in enumerate(parameters)
+        }
+        for future in as_completed(futures):
+            index, point = future.result()
+            points[index] = point
+    return points

@@ -43,10 +43,12 @@ reproducible byte-for-byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.sim.errors import ConfigError
+from repro.sim.rng import derive_seed
 from repro.sim.units import MS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -317,6 +319,29 @@ def chaos_profile(name: str, intensity: float = 1.0) -> ChaosPlan:
             ),
         )
     raise ConfigError(f"unknown chaos profile {name!r}; expected one of {CHAOS_PROFILES}")
+
+
+def chaos_plan_for_attempt(
+    name: str, attempt_seed: int, intensity: float = 1.0
+) -> ChaosPlan:
+    """A per-attempt variant of :func:`chaos_profile` for campaigns.
+
+    Every attempt of a campaign runs the same named profile, but with a
+    small deterministic jitter on each event's ``skip`` count derived
+    from the attempt seed — so a survival curve (A6) samples adversity
+    landing at slightly different points of the staging window instead
+    of hitting the identical syscall on every attempt.  A pure function
+    of ``(name, attempt_seed, intensity)``: the plan is the same no
+    matter which worker process builds it.
+    """
+    base = chaos_profile(name, intensity)
+    if base.is_null:
+        return base
+    rng = random.Random(derive_seed(attempt_seed, "chaos.plan"))
+    events = tuple(
+        replace(event, skip=event.skip + rng.randrange(3)) for event in base.events
+    )
+    return ChaosPlan(base.name, events)
 
 
 class _EventState:
