@@ -5,26 +5,27 @@ dominant fixed cost is machine construction plus Rowhammer templating,
 and both are *identical* for every attempt — so one warm post-templating
 machine can be snapshotted and forked per attempt instead of rebuilt.
 
-One table: a 20-attempt campaign run three ways —
+One table: a 20-attempt campaign run two ways —
 
 * rebuild (pre-refactor behaviour: fresh machine + fresh templating per
-  attempt, event-driven core),
-* fork (template once, fork a warm machine per attempt),
-* rebuild on the legacy polled core (the equivalence control).
+  attempt),
+* fork (template once, fork a warm machine per attempt).
 
-Acceptance: fork is ≥3× faster than rebuild in wall-clock, and all
-three modes produce **bit-identical** campaign digests — the SHA-256
-over every attempt's canonical report JSON — proving that neither
-snapshot/fork nor the event-driven timed core perturbs the attack.
+Acceptance: fork is ≥3× faster than rebuild in wall-clock, and both
+modes produce **bit-identical** campaign digests — the SHA-256 over
+every attempt's canonical report JSON — proving that snapshot/fork
+does not perturb the attack.  (The polled-vs-events equivalence
+control this table used to carry retired along with the polled core;
+``timed_core="polled"`` is now a ConfigError.)
 
 Each mode runs in a fresh interpreter subprocess (the same isolation
-pyperf uses).  ``Machine.fork`` is a deepcopy storm over ~300k objects
-whose ``memo``-dict cost is pathologically sensitive to the process's
-address layout: the identical campaign measures anywhere between ~12s
+pyperf uses).  When ``Machine.fork`` was still a deepcopy storm its
+``memo``-dict cost was pathologically sensitive to the process's
+address layout — the identical campaign measured anywhere between ~12s
 and ~45s in-process depending on what the harness happened to allocate
-first, while rebuild campaigns (no deepcopy) are layout-insensitive.
-A pristine interpreter per mode removes that confound and mirrors how
-campaigns actually run (one process per campaign).
+first.  The CoW fork (see bench_t10_cow.py) removed most of that
+sensitivity, but the pristine-interpreter-per-mode setup stays: it
+mirrors how campaigns actually run (one process per campaign).
 """
 
 from __future__ import annotations
@@ -44,7 +45,6 @@ MIN_SPEEDUP = 3.0
 MODES = {
     "rebuild / events": ("events", False),
     "fork / events": ("events", True),
-    "rebuild / polled": ("polled", False),
 }
 
 
@@ -101,7 +101,7 @@ def test_t8_campaign_fanout(benchmark):
 
     outcomes = {label: run_campaign_subprocess(*spec) for label, spec in MODES.items()}
 
-    # Bit-identical attacks across fork-vs-rebuild AND events-vs-polled.
+    # Bit-identical attacks across fork-vs-rebuild.
     digests = {label: outcome["digest"] for label, outcome in outcomes.items()}
     assert len(set(digests.values())) == 1, f"campaign digests diverged: {digests}"
     successes = outcomes["fork / events"]["successes"]

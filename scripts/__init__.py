@@ -1,0 +1,1 @@
+"""Repo maintenance scripts, runnable as ``python -m scripts.<name>``."""

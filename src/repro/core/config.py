@@ -42,13 +42,14 @@ class MachineConfig:
     #: this off to measure instrumentation overhead (experiment A7).
     metrics_enabled: bool = True
     #: How recurring behaviours (DRAM refresh, kswapd, scheduler ticks,
-    #: watchdog scans) advance: ``"events"`` dispatches them through the
-    #: machine's :class:`~repro.sim.events.EventScheduler`; ``"polled"``
-    #: keeps the legacy inline checks.  Both produce bit-identical
-    #: simulations (proven by bench_t8).
+    #: watchdog scans) advance.  ``"events"`` — the only supported value —
+    #: dispatches them through the machine's
+    #: :class:`~repro.sim.events.EventScheduler`.  The legacy ``"polled"``
+    #: inline-check core was retired after bench_t8 proved the two
+    #: bit-identical; the field remains so old configs fail with a clear
+    #: message instead of silently building a different machine.
     timed_core: str = "events"
     #: Attach an event-driven ANVIL-style hammering watchdog (None = off).
-    #: Only meaningful with ``timed_core="events"``.
     watchdog: WatchdogConfig | None = None
 
     def __post_init__(self) -> None:
@@ -63,9 +64,11 @@ class MachineConfig:
             )
         if self.mapping not in ("linear", "xor"):
             raise ConfigError(f"mapping must be 'linear' or 'xor', got {self.mapping!r}")
-        if self.timed_core not in ("events", "polled"):
+        if self.timed_core != "events":
             raise ConfigError(
-                f"timed_core must be 'events' or 'polled', got {self.timed_core!r}"
+                f"timed_core {self.timed_core!r} is not supported: the 'polled' "
+                "core was retired (the event core is bit-identical and is now "
+                "the only control path) — drop the timed_core override"
             )
 
     def with_seed(self, seed: int) -> "MachineConfig":

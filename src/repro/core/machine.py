@@ -10,7 +10,7 @@ and re-templating per attempt.
 
 from __future__ import annotations
 
-import copy
+import io
 import pickle
 
 from repro.core.config import MachineConfig
@@ -18,6 +18,7 @@ from repro.defense.watchdog import HammerWatchdog
 from repro.dram.cache import CpuCache
 from repro.dram.controller import MemoryController
 from repro.dram.mapping import make_mapping
+from repro.dram.memory import PhysicalMemory
 from repro.mm.allocator import ZonedPageFrameAllocator
 from repro.mm.node import NumaNode
 from repro.mm.page import FrameTable
@@ -48,19 +49,77 @@ def _rebind_extras(extras, obs) -> None:
         bind(obs)
 
 
+class _SnapshotPickler(pickle.Pickler):
+    """Pickler that detaches the two pieces a snapshot must not copy.
+
+    The live observability hub is replaced by :data:`NOOP_OBS` (forks get a
+    fresh hub), and the machine's CoW frame table is swapped for a
+    persistent reference so the page payloads are *shared* with the
+    snapshot instead of being serialised into it.
+    """
+
+    def __init__(self, file, obs, frames):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._obs_id = id(obs)
+        self._frames_id = id(frames)
+
+    def persistent_id(self, obj):
+        if id(obj) == self._obs_id:
+            return "obs"
+        if id(obj) == self._frames_id:
+            return "frames"
+        return None
+
+
+class _SnapshotUnpickler(pickle.Unpickler):
+    """Counterpart of :class:`_SnapshotPickler` for forking/rehydration."""
+
+    def __init__(self, file, frames):
+        super().__init__(file)
+        self._frames = frames
+
+    def persistent_load(self, pid):
+        if pid == "obs":
+            return NOOP_OBS
+        if pid == "frames":
+            # The fork co-owns every frozen frame payload; it privatises a
+            # frame only when it first writes to it (copy-on-write).
+            return PhysicalMemory.bump_refs(self._frames)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
 class MachineSnapshot:
-    """A frozen deep copy of a machine (plus companions) at one instant.
+    """A frozen copy of a machine (plus companions) at one instant.
 
     The snapshot is decoupled from the live machine — the original can
     keep running — and :meth:`fork` stamps out any number of independent
-    machines from it.  The observability hub is *not* part of the state:
-    it is excluded during the copy and every fork gets a fresh one, so
-    metrics/traces never alias between forks.
+    machines from it.  Freezing serialises the (small) object graph once
+    and becomes a co-owner of the machine's materialised DRAM frames, so
+    neither the snapshot nor its forks copy page payloads: forks share
+    them copy-on-write, making fork() O(1) in module size.
+
+    The observability hub is *not* part of the state: it is detached
+    during serialisation and every fork gets a fresh one, so
+    metrics/traces never alias between forks.  The weak-cell memo caches
+    ride outside the frozen blob and are shared by reference across
+    forks — they are pure functions of the build seed.
     """
 
     def __init__(self, machine: "Machine", extras=None):
-        memo = {id(machine.obs): NOOP_OBS}
-        self._state = copy.deepcopy((machine, extras), memo)
+        memory = machine.controller.memory
+        live_frames = memory._frames
+        self._frames = memory.share_frames()
+        weak = machine.controller.weak_cells
+        self._weak_memo = weak._memo
+        self._pop_memo = weak._pop_memo
+        buffer = io.BytesIO()
+        _SnapshotPickler(buffer, machine.obs, live_frames).dump((machine, extras))
+        self._blob = buffer.getvalue()
+
+    def __del__(self):
+        frames = getattr(self, "_frames", None)
+        if frames:
+            PhysicalMemory.release_frames(frames)
 
     def fork(self, seed: int | None = None) -> tuple["Machine", object]:
         """A fresh, independent (machine, extras) pair from the snapshot.
@@ -71,8 +130,10 @@ class MachineSnapshot:
         events) is untouched — hardware does not change identity when an
         experiment re-rolls its dice.
         """
-        memo = {id(NOOP_OBS): NOOP_OBS}
-        machine, extras = copy.deepcopy(self._state, memo)
+        machine, extras = _SnapshotUnpickler(io.BytesIO(self._blob), self._frames).load()
+        weak = machine.controller.weak_cells
+        weak._memo = self._weak_memo
+        weak._pop_memo = self._pop_memo
         machine._rebind_obs()
         _rebind_extras(extras, machine.obs)
         if seed is not None:
@@ -82,19 +143,29 @@ class MachineSnapshot:
     def to_bytes(self) -> bytes:
         """Serialise the frozen state for shipping to worker processes.
 
-        The snapshot holds no live observability hub (the copy swapped
+        The snapshot holds no live observability hub (serialisation swapped
         it for :data:`NOOP_OBS`, which pickles as the singleton), no open
-        files and no threads, so the pickled form is self-contained:
-        ``from_bytes`` in any process yields a snapshot whose forks are
-        byte-identical to forks taken in the parent (docs/CAMPAIGNS.md).
+        files and no threads, so the result is self-contained: the CoW
+        frame table travels as one packed payload, and ``from_bytes`` in
+        any process yields a snapshot whose forks are byte-identical to
+        forks taken in the parent (docs/CAMPAIGNS.md).
         """
-        return pickle.dumps(self._state, protocol=pickle.HIGHEST_PROTOCOL)
+        pfns, payload = PhysicalMemory.pack_frames(self._frames)
+        return pickle.dumps(
+            {"pfns": pfns, "payload": payload, "blob": self._blob},
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "MachineSnapshot":
         """Rehydrate a snapshot previously serialised with :meth:`to_bytes`."""
+        state = pickle.loads(blob)
         snapshot = cls.__new__(cls)
-        snapshot._state = pickle.loads(blob)
+        snapshot._frames = PhysicalMemory.unpack_frames(state["pfns"], state["payload"])
+        # Memo caches are regenerated on demand in the receiving process.
+        snapshot._weak_memo = {}
+        snapshot._pop_memo = {}
+        snapshot._blob = state["blob"]
         return snapshot
 
 
@@ -113,16 +184,12 @@ class Machine:
             self.clock, metrics_enabled=self.config.metrics_enabled
         )
 
-        # The event core.  With timed_core="events" every recurring
-        # behaviour (refresh, kswapd, scheduler ticks, watchdog scans,
-        # chaos hooks) routes through one scheduler + bus; "polled" keeps
-        # the legacy inline checks and leaves both as None.
-        if self.config.timed_core == "events":
-            self.events = EventScheduler(self.clock)
-            self.bus = EventBus()
-        else:
-            self.events = None
-            self.bus = None
+        # The event core: every recurring behaviour (refresh, kswapd,
+        # scheduler ticks, watchdog scans, chaos hooks) routes through one
+        # scheduler + bus.  The legacy timed_core="polled" inline-check
+        # path was retired; MachineConfig rejects it with a pointer here.
+        self.events = EventScheduler(self.clock)
+        self.bus = EventBus()
 
         geometry = self.config.geometry
         self.mapping = make_mapping(self.config.mapping, geometry)
@@ -166,16 +233,14 @@ class Machine:
         )
         self.node = self.nodes[0]
         self.kswapd = Kswapd()
-        if self.events is not None:
-            self.kswapd.bind_events(self.events)
+        self.kswapd.bind_events(self.events)
         cpus_per_node = self.config.num_cpus // num_nodes
         cpu_to_node = [cpu // cpus_per_node for cpu in range(self.config.num_cpus)]
         self.allocator = ZonedPageFrameAllocator(
             self.nodes, self.kswapd, cpu_to_node=cpu_to_node if num_nodes > 1 else None
         )
         self.scheduler = Scheduler(self.config.num_cpus)
-        if self.events is not None:
-            self.scheduler.bind_events(self.events)
+        self.scheduler.bind_events(self.events)
         self.kernel = Kernel(
             allocator=self.allocator,
             controller=self.controller,
@@ -189,7 +254,7 @@ class Machine:
         self.watchdog = (
             HammerWatchdog(self.config.watchdog) if self.config.watchdog else None
         )
-        if self.watchdog is not None and self.events is not None:
+        if self.watchdog is not None:
             self.watchdog.bind_events(self.events, self.kernel.ledger)
 
         self._bind_obs_chain()
@@ -203,9 +268,8 @@ class Machine:
         self.scheduler.bind_obs(self.obs)
         self.kernel.bind_obs(self.obs)
         self.kswapd.bind_obs(self.obs)
-        if self.events is not None:
-            self.events.bind_obs(self.obs)
-            self.bus.bind_obs(self.obs)
+        self.events.bind_obs(self.obs)
+        self.bus.bind_obs(self.obs)
         if self.watchdog is not None:
             self.watchdog.bind_obs(self.obs)
         if self.kernel.chaos is not None:
@@ -249,21 +313,15 @@ class Machine:
     def run_until(self, target_ns: int) -> int:
         """Advance simulated time to ``target_ns``, firing due events.
 
-        Returns the number of events dispatched (0 in polled mode, where
-        this degenerates to a plain clock advance).
+        Returns the number of events dispatched.
         """
-        if self.events is not None:
-            return self.events.run_until(target_ns)
-        self.clock.advance_to(target_ns)
-        return 0
+        return self.events.run_until(target_ns)
 
     def step(self) -> int | None:
         """Advance to the next scheduled event and fire it.
 
-        Returns the firing time, or None when idle (or in polled mode).
+        Returns the firing time, or None when idle.
         """
-        if self.events is None:
-            return None
         return self.events.step()
 
     # -- snapshot / fork -------------------------------------------------------
@@ -305,11 +363,7 @@ class Machine:
             },
             "kernel": vars(self.kernel.stats).copy(),
             "clock_ns": {"now": self.clock.now_ns},
-            "events": (
-                self.events.stats()
-                if self.events is not None
-                else {"scheduled": 0, "dispatched": 0, "cancelled": 0, "pending": 0}
-            ),
+            "events": self.events.stats(),
         }
 
     def __repr__(self) -> str:

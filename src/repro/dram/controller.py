@@ -30,7 +30,7 @@ from repro.dram.bank import Bank
 from repro.dram.ecc import EccConfig, EccState
 from repro.dram.flipmodel import FlipModelConfig, WeakCellMap
 from repro.dram.trr import TrrConfig, TrrState
-from repro.dram.geometry import DRAMAddress, DRAMGeometry
+from repro.dram.geometry import DRAMGeometry
 from repro.dram.mapping import AddressMapping
 from repro.dram.memory import PhysicalMemory
 from repro.dram.timing import DRAMTiming
@@ -130,9 +130,10 @@ class MemoryController:
         # Victim rows checked per flip evaluation: +-1 always, +-2 when the
         # distance-2 coupling is non-zero.
         self._max_coupling_distance = 2 if flip_config.coupling_distance2 > 0 else 1
-        # Event-driven refresh (timed_core="events"): a self-rescheduling
-        # tick on the "dram" scheduler queue replaces the inline epoch
-        # check.  ``events=None`` keeps the legacy polled behaviour.
+        # Event-driven refresh: a self-rescheduling tick on the "dram"
+        # scheduler queue replaces the inline epoch check.  ``events=None``
+        # (a bare controller outside a Machine) falls back to the inline
+        # check at access boundaries; both roll windows at the same instants.
         self._events = events
         self._refresh_handle = None
         if events is not None:
@@ -193,6 +194,22 @@ class MemoryController:
             "dram.ecc.uncorrectable_events", unit="events",
             help="multi-bit words ECC let through",
         )
+        cow_materialized = metrics.gauge(
+            "dram.memory.cow.materialized_frames", unit="frames",
+            help="frames with backing storage in this machine's store",
+        )
+        cow_shared = metrics.gauge(
+            "dram.memory.cow.shared_frames", unit="frames",
+            help="materialised frames whose payload is shared with a snapshot or fork",
+        )
+        cow_copied = metrics.gauge(
+            "dram.memory.cow.copied_frames", unit="frames",
+            help="frames privatised by a copy-on-write fault",
+        )
+        cow_shares = metrics.gauge(
+            "dram.memory.cow.shares", unit="events",
+            help="times this store's frame table was shared out (snapshot/fork)",
+        )
 
         def _collect() -> None:
             stats = self.stats()
@@ -205,6 +222,11 @@ class MemoryController:
             ecc = self.ecc_stats()
             ecc_corrected.set(ecc["corrected_bits"])
             ecc_uncorrectable.set(ecc["uncorrectable_events"])
+            memory = self.memory
+            cow_materialized.set(memory.materialized_frames())
+            cow_shared.set(memory.shared_frames())
+            cow_copied.set(memory.cow_copies)
+            cow_shares.set(memory.cow_shares)
 
         metrics.add_collector(_collect)
 
@@ -285,9 +307,10 @@ class MemoryController:
     def _pump_timed(self) -> None:
         """Advance timed behaviour at an access boundary.
 
-        Event mode drains the "dram" scheduler queue (the refresh tick
-        lives there); polled mode runs the inline epoch check.  Both roll
-        the window at the same instants, so the simulation is identical.
+        With an event scheduler attached this drains the "dram" queue (the
+        refresh tick lives there); a bare controller runs the inline epoch
+        check.  Both roll the window at the same instants, so the
+        simulation is identical.
         """
         if self._events is not None:
             self._events.dispatch_due("dram")
@@ -329,41 +352,139 @@ class MemoryController:
                     total += factor * bank.activations_in_window(row)
         return total
 
+    # Rows with at most this many weak cells are evaluated with the scalar
+    # per-cell loop: numpy's fixed per-call overhead (~tens of µs) beats the
+    # Python loop only once a row holds a few dozen cells.
+    _VECTOR_MIN_CELLS = 16
+
     def _evaluate_victim_row(self, key: tuple[int, int, int], victim_row: int) -> list[FlipEvent]:
-        """Flip every armed weak cell in ``victim_row`` whose threshold is met."""
+        """Flip every armed weak cell in ``victim_row`` whose threshold is met.
+
+        Dense rows run the threshold test as one vector compare over the
+        row's columnar weak-cell population; sparse rows (the common case)
+        keep a scalar loop.  ``row_base + byte_offset`` stands in for a
+        per-cell ``to_phys``: the column field occupies the low
+        physical-address bits in every mapping, so adding the byte offset to
+        the row base is exact.
+        """
         bank = self.bank(key)
         flat = self.geometry.flat_bank_index(*key)
-        cells = self.weak_cells.cells_in_row(flat, victim_row)
-        if not cells:
+        population = self.weak_cells.row_population(flat, victim_row)
+        if population is None:
             return []
         disturbance = self._disturbance_on(bank, victim_row)
         if disturbance <= 0.0:
             return []
+        if population.min_threshold * self.threshold_scale > disturbance:
+            return []
         channel, rank, bank_index = key
+        row_base = self.mapping.row_base_phys(channel, rank, bank_index, victim_row)
+        if self.ecc is None and len(population) <= self._VECTOR_MIN_CELLS:
+            cells = self.weak_cells.cells_in_row(flat, victim_row)
+            return self._apply_flips_scalar(key, victim_row, row_base, cells, disturbance)
+        armed = population.threshold * self.threshold_scale <= disturbance
+        if not armed.any():
+            return []
+        if self.ecc is not None:
+            return self._apply_flips_ecc(key, victim_row, row_base, population, armed)
+        # Data-pattern dependence: a cell only flips while it holds its
+        # charged value; once flipped it stays flipped until rewritten.
+        # Without ECC each flip touches only its own (unique) bit, so the
+        # pattern check can be gathered up front in one vector read.
+        addrs = row_base + population.byte_offset[armed]
+        bits = population.bit_in_byte[armed]
+        current = self.memory.gather_bits(addrs, bits)
+        hit = current == population.charged[armed]
+        if not hit.any():
+            return []
         flips: list[FlipEvent] = []
-        for cell in cells:
-            if cell.threshold * self.threshold_scale > disturbance:
-                continue
-            addr = self.mapping.to_phys(
-                DRAMAddress(
-                    channel=channel,
-                    rank=rank,
-                    bank=bank_index,
-                    row=victim_row,
-                    col=cell.byte_offset,
-                )
+        now = self.clock.now_ns
+        for flip_addr, flip_bit, old in zip(
+            addrs[hit].tolist(), bits[hit].tolist(), current[hit].tolist()
+        ):
+            self.memory.apply_disturbance_flip(flip_addr, flip_bit, old ^ 1)
+            event = FlipEvent(
+                time_ns=now,
+                phys_addr=flip_addr,
+                bit_in_byte=flip_bit,
+                direction_1_to_0=bool(old),
+                bank_key=key,
+                row=victim_row,
             )
-            # Data-pattern dependence: the cell only flips while it holds its
-            # charged value; once flipped it stays flipped until rewritten.
-            if self.memory.get_bit(addr, cell.bit_in_byte) != cell.charged_value:
+            self.flip_log.append(event)
+            flips.append(event)
+            self._m_flips.inc()
+            self.obs.tracer.instant(
+                "dram.flip", "dram",
+                phys_addr=flip_addr, bit=flip_bit, row=victim_row,
+            )
+        return flips
+
+    def _apply_flips_scalar(
+        self,
+        key: tuple[int, int, int],
+        victim_row: int,
+        row_base: int,
+        cells,
+        disturbance: float,
+    ) -> list[FlipEvent]:
+        """Per-cell evaluation for sparse rows (no ECC)."""
+        flips: list[FlipEvent] = []
+        memory = self.memory
+        scale = self.threshold_scale
+        for cell in cells:
+            if cell.threshold * scale > disturbance:
                 continue
-            if self.ecc is None:
-                to_apply = [(addr, cell.bit_in_byte)]
-            else:
-                # SECDED: a lone flipped bit per word is corrected away;
-                # only a second bit in the same word makes the corruption
-                # visible (and then the whole word's pending bits land).
-                to_apply = self.ecc.register_flip(addr, cell.bit_in_byte)
+            addr = row_base + cell.byte_offset
+            bit = cell.bit_in_byte
+            old = memory.get_bit(addr, bit)
+            if old != cell.charged_value:
+                continue
+            memory.apply_disturbance_flip(addr, bit, old ^ 1)
+            event = FlipEvent(
+                time_ns=self.clock.now_ns,
+                phys_addr=addr,
+                bit_in_byte=bit,
+                direction_1_to_0=bool(old),
+                bank_key=key,
+                row=victim_row,
+            )
+            self.flip_log.append(event)
+            flips.append(event)
+            self._m_flips.inc()
+            self.obs.tracer.instant(
+                "dram.flip", "dram",
+                phys_addr=addr, bit=bit, row=victim_row,
+            )
+        return flips
+
+    def _apply_flips_ecc(
+        self,
+        key: tuple[int, int, int],
+        victim_row: int,
+        row_base: int,
+        population,
+        armed,
+    ) -> list[FlipEvent]:
+        """Scalar application path for ECC modules.
+
+        SECDED: a lone flipped bit per word is corrected away; only a second
+        bit in the same word makes the corruption visible (and then the whole
+        word's pending bits land).  Because applying one cell's pending word
+        can rewrite bytes that later cells in the same row read, the
+        data-pattern check must stay interleaved with application — only the
+        threshold filter is vectorised.
+        """
+        flips: list[FlipEvent] = []
+        for byte_off, bit_in_byte, charged_value in zip(
+            population.byte_offset[armed].tolist(),
+            population.bit_in_byte[armed].tolist(),
+            population.charged[armed].tolist(),
+        ):
+            addr = row_base + byte_off
+            if self.memory.get_bit(addr, bit_in_byte) != charged_value:
+                continue
+            to_apply = self.ecc.register_flip(addr, bit_in_byte)
             for flip_addr, flip_bit in to_apply:
                 old = self.memory.get_bit(flip_addr, flip_bit)
                 self.memory.apply_disturbance_flip(flip_addr, flip_bit, old ^ 1)

@@ -133,6 +133,33 @@ class FlipModelConfig:
         )
 
 
+class RowPopulation:
+    """Columnar (numpy) view of one row's weak cells, sorted by bit index.
+
+    The controller's hammer loop compares every cell's threshold against the
+    disturbance level on each evaluation; holding the population as arrays
+    turns that inner loop into one vector compare.  Instances are immutable
+    by convention and shared through the :class:`WeakCellMap` memo.
+    """
+
+    __slots__ = (
+        "bit_index", "threshold", "true_cell",
+        "byte_offset", "bit_in_byte", "charged", "min_threshold",
+    )
+
+    def __init__(self, cells: tuple[WeakCell, ...]):
+        self.bit_index = np.array([c.bit_index for c in cells], dtype=np.int64)
+        self.threshold = np.array([c.threshold for c in cells], dtype=np.int64)
+        self.true_cell = np.array([c.true_cell for c in cells], dtype=bool)
+        self.byte_offset = self.bit_index >> 3
+        self.bit_in_byte = self.bit_index & 7
+        self.charged = self.true_cell.astype(np.uint8)
+        self.min_threshold = int(self.threshold.min())
+
+    def __len__(self) -> int:
+        return self.bit_index.size
+
+
 class WeakCellMap:
     """Deterministic, lazily evaluated weak-cell population of a module.
 
@@ -152,6 +179,16 @@ class WeakCellMap:
         # different hardware.
         self._master_seed = rng.master_seed
         self._memo: dict[tuple[int, int], tuple[WeakCell, ...]] = {}
+        self._pop_memo: dict[tuple[int, int], RowPopulation | None] = {}
+
+    def __getstate__(self) -> dict:
+        # The memo caches are pure functions of (master seed, coordinates):
+        # drop them when pickling so snapshots stay compact; forks re-attach
+        # a shared live cache instead (see MachineSnapshot).
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        state["_pop_memo"] = {}
+        return state
 
     def cells_in_row(self, flat_bank: int, row: int) -> tuple[WeakCell, ...]:
         """Weak cells of the given row, sorted by bit index."""
@@ -168,6 +205,25 @@ class WeakCellMap:
             self._memo.clear()
         self._memo[key] = cells
         return cells
+
+    def row_population(self, flat_bank: int, row: int) -> RowPopulation | None:
+        """Columnar view of the row's weak cells, or None for an empty row.
+
+        Derived from (and consistent with) :meth:`cells_in_row`; memoised
+        separately so repeated hammer evaluations of the same victim pay no
+        per-call array construction.
+        """
+        key = (flat_bank, row)
+        try:
+            return self._pop_memo[key]
+        except KeyError:
+            pass
+        cells = self.cells_in_row(flat_bank, row)
+        population = RowPopulation(cells) if cells else None
+        if len(self._pop_memo) >= self._MEMO_LIMIT:
+            self._pop_memo.clear()
+        self._pop_memo[key] = population
+        return population
 
     def _generate(self, flat_bank: int, row: int) -> tuple[WeakCell, ...]:
         cfg = self.config

@@ -1,17 +1,51 @@
-"""Physical memory byte store with lazy frame materialisation.
+"""Physical memory byte store with lazy, copy-on-write frame materialisation.
 
-Frames are materialised (as 4 KiB bytearrays) only when first written or
+Frames are materialised (as 4 KiB numpy arrays) only when first written or
 when a disturbance flip lands in them; untouched frames read as zeros.
 This keeps multi-GiB simulated modules cheap while preserving exact byte
 semantics for the frames the experiments actually touch.
+
+On top of laziness the store supports structural sharing: ``share_frames``
+hands out the frame dict with every frame's refcount bumped, so a machine
+snapshot and all its forks reference the *same* page payloads.  A frame is
+only copied when a writer holds it at refcount > 1 (copy-on-write), which
+makes forking a warm machine O(1) in module size instead of O(bytes
+touched).  ``cow_generation`` counts how many times the store has been
+shared; per-store counters feed the ``dram.memory.cow.*`` metric family.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.sim.errors import ConfigError
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
 
 _ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+def _frame_from_bytes(payload: bytes) -> "_Frame":
+    return _Frame(np.frombuffer(payload, dtype=np.uint8).copy())
+
+
+class _Frame:
+    """One materialised 4 KiB frame plus its structural-sharing refcount."""
+
+    __slots__ = ("data", "refs")
+
+    def __init__(self, data: np.ndarray, refs: int = 1):
+        self.data = data
+        self.refs = refs
+
+    def __reduce__(self):
+        # A plainly pickled frame rematerialises as a private (refs=1) copy;
+        # snapshot shipping bypasses this with a compact packed payload.
+        return (_frame_from_bytes, (self.data.tobytes(),))
+
+    def __deepcopy__(self, memo):
+        clone = _Frame(self.data.copy())
+        memo[id(self)] = clone
+        return clone
 
 
 class PhysicalMemory:
@@ -24,13 +58,26 @@ class PhysicalMemory:
             )
         self.total_bytes = total_bytes
         self.total_frames = total_bytes >> PAGE_SHIFT
-        self._frames: dict[int, bytearray] = {}
+        self._frames: dict[int, _Frame] = {}
         # Optional observer of ordinary stores: called as hook(addr, length)
         # after every write-path mutation.  The ECC model uses it to learn
         # that a word was rewritten (disturbance flips applied by the
         # controller go through apply_disturbance_flip, which does NOT
         # notify).
         self.write_hook = None
+        # Copy-on-write bookkeeping.  cow_generation increments every time
+        # this store's frames are shared out; cow_copies counts frames that
+        # had to be privatised on write; cow_shares counts share events.
+        self.cow_generation = 0
+        self.cow_copies = 0
+        self.cow_shares = 0
+
+    def __del__(self):
+        frames = getattr(self, "_frames", None)
+        if frames:
+            for frame in frames.values():
+                frame.refs -= 1
+            frames.clear()
 
     def _notify(self, addr: int, length: int) -> None:
         if self.write_hook is not None and length > 0:
@@ -51,16 +98,88 @@ class PhysicalMemory:
         """Number of frames currently backed by real storage."""
         return len(self._frames)
 
+    def shared_frames(self) -> int:
+        """Number of materialised frames whose payload is shared (refs > 1)."""
+        return sum(1 for frame in self._frames.values() if frame.refs > 1)
+
     def is_materialized(self, pfn: int) -> bool:
         """True if frame ``pfn`` has backing storage (has been written)."""
         return pfn in self._frames
 
-    def _frame_for_write(self, pfn: int) -> bytearray:
+    def is_shared(self, pfn: int) -> bool:
+        """True if frame ``pfn`` is materialised and its payload is shared."""
+        frame = self._frames.get(pfn)
+        return frame is not None and frame.refs > 1
+
+    # -- structural sharing --------------------------------------------------
+
+    def share_frames(self) -> dict[int, _Frame]:
+        """Hand out the frame table with every frame's refcount bumped.
+
+        The caller becomes a co-owner of every payload: it must eventually
+        either pass the dict to another ``PhysicalMemory`` (whose ``__del__``
+        releases the refs) or call :meth:`release_frames` on them.
+        """
+        for frame in self._frames.values():
+            frame.refs += 1
+        self.cow_shares += 1
+        self.cow_generation += 1
+        return dict(self._frames)
+
+    @staticmethod
+    def bump_refs(frames: dict[int, _Frame]) -> dict[int, _Frame]:
+        """Bump every frame's refcount and return a fresh table for a new owner."""
+        for frame in frames.values():
+            frame.refs += 1
+        return dict(frames)
+
+    @staticmethod
+    def release_frames(frames: dict[int, _Frame]) -> None:
+        """Drop one owner's claim on every frame in ``frames``."""
+        for frame in frames.values():
+            frame.refs -= 1
+        frames.clear()
+
+    @staticmethod
+    def pack_frames(frames: dict[int, _Frame]) -> tuple[list[int], bytes]:
+        """Serialize a frame table as (sorted pfn list, concatenated payloads)."""
+        pfns = sorted(frames)
+        if not pfns:
+            return [], b""
+        payload = np.concatenate([frames[pfn].data for pfn in pfns])
+        return pfns, payload.tobytes()
+
+    @staticmethod
+    def unpack_frames(pfns: list[int], payload: bytes) -> dict[int, _Frame]:
+        """Rebuild a frame table from :meth:`pack_frames` output (refs=1 each)."""
+        if not pfns:
+            return {}
+        if len(payload) != len(pfns) * PAGE_SIZE:
+            raise ConfigError(
+                f"packed frame payload is {len(payload)} bytes, "
+                f"expected {len(pfns) * PAGE_SIZE} for {len(pfns)} frames"
+            )
+        # One writable backing buffer; each frame is a 4 KiB view into it.
+        # Views are safe: any fork that writes sees refs > 1 and privatises.
+        store = np.frombuffer(payload, dtype=np.uint8).copy()
+        return {
+            pfn: _Frame(store[i * PAGE_SIZE : (i + 1) * PAGE_SIZE])
+            for i, pfn in enumerate(pfns)
+        }
+
+    def _frame_for_write(self, pfn: int) -> np.ndarray:
         frame = self._frames.get(pfn)
         if frame is None:
-            frame = bytearray(PAGE_SIZE)
+            frame = _Frame(np.zeros(PAGE_SIZE, dtype=np.uint8))
             self._frames[pfn] = frame
-        return frame
+        elif frame.refs > 1:
+            # Copy-on-write: leave the shared payload to the other owners
+            # and continue with a private copy.
+            frame.refs -= 1
+            frame = _Frame(frame.data.copy())
+            self._frames[pfn] = frame
+            self.cow_copies += 1
+        return frame.data
 
     # -- byte access -----------------------------------------------------------
 
@@ -78,7 +197,7 @@ class PhysicalMemory:
             if frame is None:
                 out += _ZERO_PAGE[offset : offset + chunk]
             else:
-                out += frame[offset : offset + chunk]
+                out += frame.data[offset : offset + chunk].tobytes()
             cursor += chunk
             remaining -= chunk
         return bytes(out)
@@ -94,7 +213,7 @@ class PhysicalMemory:
             offset = cursor & (PAGE_SIZE - 1)
             chunk = min(len(view), PAGE_SIZE - offset)
             frame = self._frame_for_write(pfn)
-            frame[offset : offset + chunk] = view[:chunk]
+            frame[offset : offset + chunk] = np.frombuffer(view[:chunk], dtype=np.uint8)
             cursor += chunk
             view = view[chunk:]
 
@@ -104,7 +223,7 @@ class PhysicalMemory:
         frame = self._frames.get(addr >> PAGE_SHIFT)
         if frame is None:
             return 0
-        return frame[addr & (PAGE_SIZE - 1)]
+        return int(frame.data[addr & (PAGE_SIZE - 1)])
 
     def write_byte(self, addr: int, value: int) -> None:
         """Write a single byte (value 0..255)."""
@@ -122,6 +241,29 @@ class PhysicalMemory:
         if not 0 <= bit <= 7:
             raise ConfigError(f"bit index {bit} out of range [0, 7]")
         return (self.read_byte(addr) >> bit) & 1
+
+    def gather_bits(self, addrs: np.ndarray, bits: np.ndarray) -> np.ndarray:
+        """Vector form of :meth:`get_bit`: bit ``bits[i]`` of byte ``addrs[i]``.
+
+        Returns a uint8 0/1 array.  Unmaterialised frames read as zero, the
+        same as the scalar path.
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        bits = np.asarray(bits, dtype=np.int64)
+        if addrs.size == 0:
+            return np.zeros(0, dtype=np.uint8)
+        self._check_range(int(addrs.min()), 1)
+        self._check_range(int(addrs.max()), 1)
+        pfns = addrs >> PAGE_SHIFT
+        offsets = addrs & (PAGE_SIZE - 1)
+        values = np.zeros(addrs.shape, dtype=np.int64)
+        for pfn in np.unique(pfns):
+            frame = self._frames.get(int(pfn))
+            if frame is None:
+                continue
+            mask = pfns == pfn
+            values[mask] = frame.data[offsets[mask]]
+        return ((values >> bits) & 1).astype(np.uint8)
 
     def set_bit(self, addr: int, bit: int, value: int) -> None:
         """Set bit ``bit`` of the byte at ``addr`` to ``value`` (0 or 1)."""
@@ -153,9 +295,9 @@ class PhysicalMemory:
         frame = self._frame_for_write(addr >> PAGE_SHIFT)
         offset = addr & (PAGE_SIZE - 1)
         if value:
-            frame[offset] |= 1 << bit
+            frame[offset] |= np.uint8(1 << bit)
         else:
-            frame[offset] &= ~(1 << bit)
+            frame[offset] &= np.uint8(0xFF ^ (1 << bit))
 
     # -- frame helpers ----------------------------------------------------------
 
@@ -165,16 +307,21 @@ class PhysicalMemory:
             raise ConfigError(f"pattern byte {pattern} out of range")
         self._check_range(pfn << PAGE_SHIFT, PAGE_SIZE)
         self._notify(pfn << PAGE_SHIFT, PAGE_SIZE)
-        self._frames[pfn] = bytearray([pattern]) * PAGE_SIZE
+        old = self._frames.get(pfn)
+        if old is not None:
+            old.refs -= 1
+        self._frames[pfn] = _Frame(np.full(PAGE_SIZE, pattern, dtype=np.uint8))
 
     def clear_frame(self, pfn: int) -> None:
         """Reset frame ``pfn`` to zeros and drop its backing storage."""
         self._check_range(pfn << PAGE_SHIFT, PAGE_SIZE)
         self._notify(pfn << PAGE_SHIFT, PAGE_SIZE)
-        self._frames.pop(pfn, None)
+        frame = self._frames.pop(pfn, None)
+        if frame is not None:
+            frame.refs -= 1
 
     def frame_snapshot(self, pfn: int) -> bytes:
         """Immutable copy of the 4 KiB frame ``pfn``."""
         self._check_range(pfn << PAGE_SHIFT, PAGE_SIZE)
         frame = self._frames.get(pfn)
-        return bytes(frame) if frame is not None else _ZERO_PAGE
+        return frame.data.tobytes() if frame is not None else _ZERO_PAGE

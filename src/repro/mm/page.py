@@ -13,14 +13,23 @@ state machine.  The legal states and transitions are:
 allocator.  The descriptor also remembers the owning pid while allocated —
 the experiments use that to ask "who holds this frame now?", which is the
 measurable core of the steering attack.
+
+Storage is columnar: the table keeps one numpy column per field and hands
+out lightweight :class:`PageFrame` views that write through to the columns.
+A 64 MiB module needs 16 K descriptors; as columns they are five small
+arrays instead of 16 K Python objects, which is what makes machine
+snapshots cheap to pickle and fork.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.sim.errors import ConfigError
+
+_HISTORY_DEPTH = 16
 
 
 class PageFlags(enum.Enum):
@@ -32,58 +41,150 @@ class PageFlags(enum.Enum):
     ALLOCATED = "allocated"
 
 
-@dataclass
-class PageFrame:
-    """Descriptor for one physical page frame."""
+_CODE_OF = {flag: code for code, flag in enumerate(PageFlags)}
+_FLAG_OF = tuple(PageFlags)
+_NO_OWNER = -1
 
-    pfn: int
-    flags: PageFlags = PageFlags.FREE_BUDDY
-    # Buddy order of the free block this frame heads; only meaningful for
-    # the head frame of a FREE_BUDDY block.
-    order: int = 0
-    owner_pid: int | None = None
-    # Monotonic stamp of the last allocation, for reuse-distance statistics.
-    alloc_stamp: int = 0
-    field_history: list[PageFlags] = field(default_factory=list, repr=False)
+
+class _Columns:
+    """Column store backing ``total`` page-frame descriptors."""
+
+    __slots__ = ("flags", "order", "owner", "stamp", "history", "hist_len", "hist_start")
+
+    def __init__(self, total: int):
+        self.flags = np.full(total, _CODE_OF[PageFlags.FREE_BUDDY], dtype=np.uint8)
+        self.order = np.zeros(total, dtype=np.int64)
+        self.owner = np.full(total, _NO_OWNER, dtype=np.int64)
+        self.stamp = np.zeros(total, dtype=np.int64)
+        # Bounded per-frame transition history as a ring buffer of flag codes.
+        self.history = np.zeros((total, _HISTORY_DEPTH), dtype=np.uint8)
+        self.hist_len = np.zeros(total, dtype=np.int64)
+        self.hist_start = np.zeros(total, dtype=np.int64)
+
+
+class PageFrame:
+    """Descriptor for one physical page frame (a view into a column store)."""
+
+    __slots__ = ("pfn", "_cols", "_idx")
+
+    def __init__(
+        self,
+        pfn: int,
+        flags: PageFlags = PageFlags.FREE_BUDDY,
+        order: int = 0,
+        owner_pid: int | None = None,
+        alloc_stamp: int = 0,
+        *,
+        _columns: _Columns | None = None,
+        _index: int = 0,
+    ):
+        if _columns is None:
+            # Standalone descriptor: back it with a private 1-row store.
+            _columns = _Columns(1)
+            _index = 0
+            _columns.flags[0] = _CODE_OF[flags]
+            _columns.order[0] = order
+            _columns.owner[0] = _NO_OWNER if owner_pid is None else owner_pid
+            _columns.stamp[0] = alloc_stamp
+        self.pfn = pfn
+        self._cols = _columns
+        self._idx = _index
+
+    # -- column-backed fields ------------------------------------------------
+
+    @property
+    def flags(self) -> PageFlags:
+        return _FLAG_OF[self._cols.flags[self._idx]]
+
+    @flags.setter
+    def flags(self, value: PageFlags) -> None:
+        self._cols.flags[self._idx] = _CODE_OF[value]
+
+    @property
+    def order(self) -> int:
+        """Buddy order of the free block this frame heads (head frames only)."""
+        return int(self._cols.order[self._idx])
+
+    @order.setter
+    def order(self, value: int) -> None:
+        self._cols.order[self._idx] = value
+
+    @property
+    def owner_pid(self) -> int | None:
+        owner = self._cols.owner[self._idx]
+        return None if owner == _NO_OWNER else int(owner)
+
+    @owner_pid.setter
+    def owner_pid(self, value: int | None) -> None:
+        self._cols.owner[self._idx] = _NO_OWNER if value is None else value
+
+    @property
+    def alloc_stamp(self) -> int:
+        """Monotonic stamp of the last allocation, for reuse-distance stats."""
+        return int(self._cols.stamp[self._idx])
+
+    @alloc_stamp.setter
+    def alloc_stamp(self, value: int) -> None:
+        self._cols.stamp[self._idx] = value
+
+    @property
+    def field_history(self) -> list[PageFlags]:
+        """The last ``_HISTORY_DEPTH`` pre-transition states, oldest first."""
+        cols, i = self._cols, self._idx
+        start = int(cols.hist_start[i])
+        length = int(cols.hist_len[i])
+        return [
+            _FLAG_OF[cols.history[i, (start + k) % _HISTORY_DEPTH]] for k in range(length)
+        ]
 
     def mark(self, flags: PageFlags) -> None:
         """Transition to ``flags``, recording the old state in the history."""
-        self.field_history.append(self.flags)
-        if len(self.field_history) > 16:
-            del self.field_history[0]
-        self.flags = flags
+        cols, i = self._cols, self._idx
+        if cols.hist_len[i] < _HISTORY_DEPTH:
+            pos = (cols.hist_start[i] + cols.hist_len[i]) % _HISTORY_DEPTH
+            cols.hist_len[i] += 1
+        else:
+            pos = cols.hist_start[i]
+            cols.hist_start[i] = (pos + 1) % _HISTORY_DEPTH
+        cols.history[i, pos] = cols.flags[i]
+        cols.flags[i] = _CODE_OF[flags]
 
     @property
     def is_free(self) -> bool:
         """True when the frame is available (in the buddy or on a pcp list)."""
-        return self.flags in (PageFlags.FREE_BUDDY, PageFlags.ON_PCP)
+        code = self._cols.flags[self._idx]
+        return code == _CODE_OF[PageFlags.FREE_BUDDY] or code == _CODE_OF[PageFlags.ON_PCP]
+
+    def __repr__(self) -> str:
+        return (
+            f"PageFrame(pfn={self.pfn}, flags={self.flags}, order={self.order}, "
+            f"owner_pid={self.owner_pid}, alloc_stamp={self.alloc_stamp})"
+        )
 
 
 class FrameTable:
-    """Dense table of :class:`PageFrame` descriptors for a frame range."""
+    """Dense columnar table of page-frame descriptors for a frame range."""
 
     def __init__(self, total_frames: int):
         if total_frames <= 0:
             raise ConfigError(f"total_frames must be positive, got {total_frames}")
         self.total_frames = total_frames
-        self._frames = [PageFrame(pfn=pfn) for pfn in range(total_frames)]
+        self._cols = _Columns(total_frames)
 
     def __getitem__(self, pfn: int) -> PageFrame:
         if not 0 <= pfn < self.total_frames:
             raise ConfigError(f"pfn {pfn} out of range [0, {self.total_frames})")
-        return self._frames[pfn]
+        return PageFrame(int(pfn), _columns=self._cols, _index=int(pfn))
 
     def __len__(self) -> int:
         return self.total_frames
 
     def owned_by(self, pid: int) -> list[int]:
         """All pfns currently allocated to ``pid``."""
-        return [
-            frame.pfn
-            for frame in self._frames
-            if frame.flags is PageFlags.ALLOCATED and frame.owner_pid == pid
-        ]
+        cols = self._cols
+        mask = (cols.flags == _CODE_OF[PageFlags.ALLOCATED]) & (cols.owner == pid)
+        return [int(pfn) for pfn in np.nonzero(mask)[0]]
 
     def count_state(self, flags: PageFlags) -> int:
         """Number of frames currently in the given state."""
-        return sum(1 for frame in self._frames if frame.flags is flags)
+        return int(np.count_nonzero(self._cols.flags == _CODE_OF[flags]))

@@ -15,8 +15,11 @@ Two ways to get the warm state into a worker:
   :class:`~repro.core.machine.MachineSnapshot` with
   :meth:`~repro.core.machine.MachineSnapshot.to_bytes`, and every worker
   rehydrates it in its initializer.  One templating pass total; the blob
-  (a few MB for small geometries) crosses the process boundary once per
-  worker.
+  crosses the process boundary once per worker.  The CoW frame store
+  serialises compactly — a small object-graph pickle plus one packed
+  payload of the materialised frames — and the rehydrated snapshot's
+  forks share those frames copy-on-write, so per-attempt fork cost in
+  the worker is O(1) in module size.
 * **rewarm** — each worker builds + templates from the pickled template
   config in its initializer.  No big blob, but the warm cost is paid
   once per worker; useful when the snapshot is large relative to the

@@ -4,7 +4,7 @@ import pytest
 
 from repro.dram.controller import MemoryController
 from repro.dram.ecc import EccConfig, EccState
-from repro.dram.flipmodel import FlipModelConfig, WeakCell
+from repro.dram.flipmodel import FlipModelConfig, RowPopulation, WeakCell
 from repro.dram.geometry import DRAMAddress, DRAMGeometry
 from repro.dram.mapping import LinearMapping
 from repro.dram.timing import DRAMTiming
@@ -97,6 +97,10 @@ def controller_with_cells(cells_by_row, ecc=None):
 
         def cells_in_row(self, flat_bank, row):
             return cells_by_row.get((flat_bank, row), ())
+
+        def row_population(self, flat_bank, row):
+            cells = self.cells_in_row(flat_bank, row)
+            return RowPopulation(cells) if cells else None
 
     controller.weak_cells = FixedCells()
     return controller

@@ -135,3 +135,41 @@ class TestValidation:
     def test_inverted_count_range(self):
         with pytest.raises(ConfigError):
             make_map().count_weak_cells(0, 10, 5)
+
+
+class TestRowPopulation:
+    def test_columns_match_cells_on_seeded_rows(self):
+        cell_map = make_map(FlipModelConfig.highly_vulnerable(), seed=7)
+        populated = 0
+        for row in range(300):
+            cells = cell_map.cells_in_row(0, row)
+            population = cell_map.row_population(0, row)
+            if not cells:
+                assert population is None
+                continue
+            populated += 1
+            assert population.bit_index.tolist() == [c.bit_index for c in cells]
+            assert population.threshold.tolist() == [c.threshold for c in cells]
+            assert population.true_cell.tolist() == [c.true_cell for c in cells]
+            assert population.byte_offset.tolist() == [c.byte_offset for c in cells]
+            assert population.bit_in_byte.tolist() == [c.bit_in_byte for c in cells]
+            assert population.charged.tolist() == [c.charged_value for c in cells]
+            assert population.min_threshold == min(c.threshold for c in cells)
+            assert len(population) == len(cells)
+        assert populated > 10  # non-vacuous: the sweep hit real populations
+
+    def test_population_is_memoized(self):
+        cell_map = make_map(FlipModelConfig.highly_vulnerable(), seed=7)
+        a = cell_map.row_population(0, 5)
+        assert cell_map.row_population(0, 5) is a
+
+    def test_memo_caches_dropped_on_pickle(self):
+        import pickle
+
+        cell_map = make_map(FlipModelConfig.highly_vulnerable(), seed=7)
+        cell_map.cells_in_row(0, 5)
+        cell_map.row_population(0, 5)
+        clone = pickle.loads(pickle.dumps(cell_map))
+        assert clone._memo == {} and clone._pop_memo == {}
+        # Regenerated populations are equal: pure function of seed + coords.
+        assert clone.cells_in_row(0, 5) == cell_map.cells_in_row(0, 5)

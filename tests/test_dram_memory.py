@@ -1,5 +1,6 @@
-"""Physical memory store: lazy frames, byte and bit access."""
+"""Physical memory store: lazy frames, copy-on-write sharing, byte/bit access."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -115,6 +116,88 @@ class TestFrames:
 
     def test_total_frames(self, mem):
         assert mem.total_frames == 4 * MIB // PAGE_SIZE
+
+
+class TestCopyOnWrite:
+    def test_shared_then_diverge(self):
+        a = PhysicalMemory(16 * PAGE_SIZE)
+        a.write(0, b"hello")
+        b = PhysicalMemory(16 * PAGE_SIZE)
+        b._frames = a.share_frames()
+        assert a.is_shared(0) and b.is_shared(0)
+        assert b.read(0, 5) == b"hello"
+        b.write(0, b"HELLO")
+        # The writer diverged onto a private frame; the sharer is untouched.
+        assert b.read(0, 5) == b"HELLO"
+        assert a.read(0, 5) == b"hello"
+        assert not a.is_shared(0) and not b.is_shared(0)
+        assert b.cow_copies == 1
+        assert a.cow_shares == 1 and a.cow_generation == 1
+
+    def test_disturbance_flip_triggers_cow(self):
+        a = PhysicalMemory(16 * PAGE_SIZE)
+        a.write_byte(10, 0xFF)
+        b = PhysicalMemory(16 * PAGE_SIZE)
+        b._frames = a.share_frames()
+        b.apply_disturbance_flip(10, 0, 0)
+        assert b.read_byte(10) == 0xFE
+        assert a.read_byte(10) == 0xFF
+        assert b.cow_copies == 1
+
+    def test_refcount_release_on_sharer_gc(self):
+        a = PhysicalMemory(16 * PAGE_SIZE)
+        a.write(0, b"x")
+        frames = a.share_frames()
+        frame = frames[0]
+        assert frame.refs == 2
+        b = PhysicalMemory(16 * PAGE_SIZE)
+        b._frames = frames
+        del b  # the co-owner dies; its claim on every payload is dropped
+        assert frame.refs == 1
+        a.write(0, b"y")  # sole owner again: writes in place, no copy
+        assert a.cow_copies == 0
+
+    def test_clear_frame_releases_shared_payload(self):
+        a = PhysicalMemory(16 * PAGE_SIZE)
+        a.write(0, b"x")
+        b = PhysicalMemory(16 * PAGE_SIZE)
+        b._frames = a.share_frames()
+        b.clear_frame(0)
+        assert not b.is_materialized(0)
+        assert a.read(0, 1) == b"x"
+        assert not a.is_shared(0)
+
+    def test_pack_unpack_round_trip_of_partial_store(self):
+        a = PhysicalMemory(16 * PAGE_SIZE)
+        a.write(3 * PAGE_SIZE, b"alpha")
+        a.fill_frame(7, 0xAB)
+        pfns, payload = PhysicalMemory.pack_frames(a._frames)
+        b = PhysicalMemory(16 * PAGE_SIZE)
+        b._frames = PhysicalMemory.unpack_frames(pfns, payload)
+        assert b.materialized_frames() == 2
+        assert b.read(3 * PAGE_SIZE, 5) == b"alpha"
+        assert b.read(7 * PAGE_SIZE, PAGE_SIZE) == bytes([0xAB]) * PAGE_SIZE
+        assert b.read(0, 8) == bytes(8)  # untouched frames still read zero
+        b.write(3 * PAGE_SIZE, b"OMEGA")  # rebuilt frames are writable
+        assert b.read(3 * PAGE_SIZE, 5) == b"OMEGA"
+
+    def test_unpack_rejects_mismatched_payload(self):
+        with pytest.raises(ConfigError):
+            PhysicalMemory.unpack_frames([1, 2], b"short")
+
+    def test_gather_bits_matches_scalar_get_bit(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        mem.write(100, bytes(range(1, 17)))
+        addrs = np.array([100, 101, 5 * PAGE_SIZE + 3, 110], dtype=np.int64)
+        bits = np.array([0, 3, 7, 1], dtype=np.int64)
+        got = mem.gather_bits(addrs, bits)
+        assert got.tolist() == [
+            mem.get_bit(int(a), int(b)) for a, b in zip(addrs, bits)
+        ]
+
+    def test_gather_bits_empty(self):
+        mem = PhysicalMemory(16 * PAGE_SIZE)
+        assert mem.gather_bits(np.array([], dtype=np.int64), np.array([], dtype=np.int64)).size == 0
 
 
 class TestConstruction:
