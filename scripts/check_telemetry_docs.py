@@ -35,6 +35,7 @@ from repro.attack.templating import TemplatorConfig  # noqa: E402
 from repro.core import Machine, MachineConfig  # noqa: E402
 from repro.defense.watchdog import WatchdogConfig  # noqa: E402
 from repro.parallel.pool import register_pool_metrics  # noqa: E402
+from repro.parallel.service import register_service_metrics  # noqa: E402
 from repro.sim.chaos import ChaosEngine, chaos_profile  # noqa: E402
 from repro.sim.units import MIB  # noqa: E402
 
@@ -56,10 +57,12 @@ def registered_families() -> set[str]:
         ),
     )
     AttackOrchestrator(attack, OrchestratorConfig())
-    # The campaign.pool.* family lives on a pool-side registry (campaign
-    # results carry its snapshot), not on any machine component — attach
-    # it here so the doc cross-check covers it.
+    # The campaign.pool.* and campaign.service.* families live on
+    # result-side registries (campaign results carry their snapshots),
+    # not on any machine component — attach them here so the doc
+    # cross-check covers them.
     register_pool_metrics(machine.obs.metrics)
+    register_service_metrics(machine.obs.metrics)
     # Drive past one scheduler tick so lazily-created per-queue families
     # (sim.events.dispatched{queue=...}) register.
     machine.run_until(machine.scheduler.TIMESLICE_NS)

@@ -1,0 +1,159 @@
+"""Campaign-service smoke driver: kill -9 resume and shard-merge parity.
+
+Shells out to the real CLI (``python -m repro attack --checkpoint ...``)
+so the whole stack — argument parsing, service wiring, journal fsyncs,
+exit codes — is exercised exactly as a user would drive it, then checks
+the crash-safety contract from docs/CAMPAIGNS.md:
+
+* ``kill-resume`` — start a checkpointed chaos campaign, SIGKILL the
+  process partway through (first journal record landed, run not yet
+  complete), resume it with ``--resume``, and require the resumed
+  digest to be bit-identical to an uninterrupted run of the same
+  campaign in a fresh directory.
+* ``shard`` — run every ``--shard i/N`` partition into one directory,
+  ``--merge-shards``, and require the merged digest to match the same
+  uninterrupted unsharded run.
+
+Used two ways: CI invokes it directly as a smoke step, and
+``tests/test_parallel_service.py`` wraps it in pytest so the contract
+is also enforced locally.  Exit 0 on parity, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _cli(extra, checkpoint, *, attempts, chaos):
+    command = [
+        sys.executable, "-m", "repro", "attack",
+        "--seed", "7", "--buffer-mib", "4",
+        "--campaign", str(attempts), "--fork-from-template",
+        "--deadline", "600", "--checkpoint", str(checkpoint), "--json",
+    ]
+    if chaos != "none":
+        command += ["--chaos", chaos]
+    return command + list(extra)
+
+
+def _environment():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _run_json(command):
+    """Run one CLI invocation; its parsed --json result payload."""
+    proc = subprocess.run(
+        command, env=_environment(), capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{' '.join(command)} exited {proc.returncode}:\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _baseline(directory, *, attempts, chaos):
+    """Uninterrupted service run in ``directory/base``; its digest."""
+    payload = _run_json(
+        _cli([], directory / "base", attempts=attempts, chaos=chaos)
+    )
+    return payload["digest"]
+
+
+def smoke_kill_resume(directory: Path, attempts: int, chaos: str) -> int:
+    reference = _baseline(directory, attempts=attempts, chaos=chaos)
+    print(f"uninterrupted digest: {reference}")
+
+    kill_dir = directory / "kill"
+    journal = kill_dir / "journal-0of1.jsonl"
+    victim = subprocess.Popen(
+        _cli([], kill_dir, attempts=attempts, chaos=chaos),
+        env=_environment(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    # SIGKILL as soon as the first journal record has landed but (in the
+    # common case) before the campaign completes; if the victim wins the
+    # race and finishes, resume degrades to a no-op and parity must
+    # still hold.
+    killed = False
+    while victim.poll() is None:
+        if journal.exists() and journal.stat().st_size > 0:
+            victim.send_signal(signal.SIGKILL)
+            victim.wait()
+            killed = True
+            break
+        time.sleep(0.02)
+    print(f"victim {'SIGKILLed mid-run' if killed else 'finished before the kill'}")
+
+    payload = _run_json(
+        _cli(["--resume"], kill_dir, attempts=attempts, chaos=chaos)
+    )
+    digest = payload["digest"]
+    service = payload["service"]
+    journaled = service["campaign.service.attempts_journaled"]
+    resumed = service["campaign.service.attempts_resumed"]
+    print(f"resumed digest:       {digest}")
+    print(f"resume split:         {resumed} recovered + {journaled} re-run")
+    if digest != reference:
+        print("FAIL: resumed digest differs from the uninterrupted run")
+        return 1
+    if journaled + resumed != attempts:
+        print("FAIL: resume did not account for every attempt exactly once")
+        return 1
+    print("PASS: kill -9 resume is bit-identical to an uninterrupted run")
+    return 0
+
+
+def smoke_shard(directory: Path, attempts: int, chaos: str, shards: int) -> int:
+    reference = _baseline(directory, attempts=attempts, chaos=chaos)
+    print(f"unsharded digest:     {reference}")
+
+    shard_dir = directory / f"{shards}way"
+    for index in range(shards):
+        _run_json(_cli(
+            ["--shard", f"{index}/{shards}"],
+            shard_dir, attempts=attempts, chaos=chaos,
+        ))
+        print(f"shard {index}/{shards} complete")
+    payload = _run_json(_cli(
+        ["--merge-shards"], shard_dir, attempts=attempts, chaos=chaos,
+    ))
+    digest = payload["digest"]
+    print(f"merged digest:        {digest}")
+    if digest != reference:
+        print(f"FAIL: {shards}-way merged digest differs from the serial run")
+        return 1
+    print(f"PASS: {shards}-way shard merge is bit-identical to the serial run")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("mode", choices=("kill-resume", "shard"))
+    parser.add_argument("--dir", required=True, type=Path,
+                        help="scratch directory for checkpoints")
+    parser.add_argument("--attempts", type=int, default=4)
+    parser.add_argument("--chaos", default="steal")
+    parser.add_argument("--shards", type=int, default=2)
+    args = parser.parse_args(argv)
+    args.dir.mkdir(parents=True, exist_ok=True)
+    if args.mode == "kill-resume":
+        return smoke_kill_resume(args.dir, args.attempts, args.chaos)
+    return smoke_shard(args.dir, args.attempts, args.chaos, args.shards)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -77,6 +77,14 @@ class StageFailure:
             "detail": self.detail,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> StageFailure:
+        return cls(
+            stage=data["stage"],
+            failure_class=FailureClass(data["class"]),
+            detail=data["detail"],
+        )
+
 
 # -- policies and budgets ----------------------------------------------------------
 
@@ -154,6 +162,19 @@ class AttemptRecord:
             "recovery": self.recovery,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> AttemptRecord:
+        failure = data.get("failure")
+        return cls(
+            stage=data["stage"],
+            attempt=data["attempt"],
+            start_ns=data["start_ns"],
+            end_ns=data["end_ns"],
+            outcome=data["outcome"],
+            failure=None if failure is None else StageFailure.from_dict(failure),
+            recovery=data.get("recovery"),
+        )
+
 
 @dataclass(frozen=True)
 class BudgetSpend:
@@ -175,6 +196,17 @@ class BudgetSpend:
             "campaigns": self.campaigns,
             "campaign_budget": self.campaign_budget,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> BudgetSpend:
+        return cls(
+            sim_time_ns=data["sim_time_ns"],
+            deadline_ns=data["deadline_ns"],
+            hammer_rounds=data["hammer_rounds"],
+            activation_budget=data["activation_budget"],
+            campaigns=data["campaigns"],
+            campaign_budget=data["campaign_budget"],
+        )
 
 
 @dataclass(frozen=True)
@@ -252,6 +284,41 @@ class AttackRunReport:
     def to_json(self) -> str:
         """Canonical JSON form (sorted keys, compact separators)."""
         return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> AttackRunReport:
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The faithful inverse the checkpoint journal depends on: derived
+        keys (``stage_sim_time_ns``, ``failure_classes``) are recomputed
+        from the reconstructed fields, so
+        ``from_dict(r.to_dict()).to_json() == r.to_json()`` byte for
+        byte — which is what keeps a resumed campaign's digest identical
+        to an uninterrupted run's.
+        """
+        final_failure = data.get("final_failure")
+        return cls(
+            seed=data["seed"],
+            chaos_profile=data["chaos_profile"],
+            success=data["success"],
+            recovered_key=data.get("recovered_key"),
+            true_key=data["true_key"],
+            final_failure=(
+                None if final_failure is None else StageFailure.from_dict(final_failure)
+            ),
+            timeline=tuple(
+                AttemptRecord.from_dict(record) for record in data["timeline"]
+            ),
+            failures=tuple(
+                StageFailure.from_dict(failure) for failure in data["failures"]
+            ),
+            chaos_events=tuple(data["chaos_events"]),
+            budget=BudgetSpend.from_dict(data["budget"]),
+            templated_flips=data["templated_flips"],
+            candidates_tried=data["candidates_tried"],
+            recoveries=tuple(data["recoveries"]),
+            faulty_ciphertexts=data["faulty_ciphertexts"],
+        )
 
 
 # -- the orchestrator --------------------------------------------------------------
@@ -625,28 +692,44 @@ class CampaignResult:
     the equality witness that the fork and rebuild strategies, the
     event-driven and polled cores, and every worker count produce
     literally the same attacks.  ``metrics`` (the per-attempt registries
-    merged with :func:`~repro.obs.metrics.merge_metric_states`) and
-    ``pool`` (worker-pool stats: wall times, pids) ride outside the
-    digest — the former is order-deterministic, the latter is host noise.
+    merged with :func:`~repro.obs.metrics.merge_metric_states`), ``pool``
+    (worker-pool stats: wall times, pids) and ``service`` (checkpoint
+    journal stats) ride outside the digest — the first is
+    order-deterministic, the latter two are host noise.
+
+    A streaming campaign-service run journals and *releases* each report
+    instead of holding it (docs/CAMPAIGNS.md); such a result carries
+    ``reports=()`` plus a ``summary`` block (``attempts``, ``successes``,
+    ``digest`` — computed from the journal in attempt order) that the
+    accessors below fall back to, so digest comparisons work identically
+    whether the reports are in memory or on disk.
     """
 
     reports: tuple[AttackRunReport, ...]
     mode: str  # "fork" | "rebuild"
     metrics: dict | None = None
     pool: dict | None = None
+    service: dict | None = None
+    summary: dict | None = None
 
     @property
     def attempts(self) -> int:
         """Number of attack attempts run."""
+        if self.summary is not None:
+            return self.summary["attempts"]
         return len(self.reports)
 
     @property
     def successes(self) -> int:
         """Attempts that recovered the key."""
+        if self.summary is not None:
+            return self.summary["successes"]
         return sum(1 for report in self.reports if report.success)
 
     def digest(self) -> str:
         """SHA-256 over the concatenated canonical report JSONs."""
+        if self.summary is not None:
+            return self.summary["digest"]
         hasher = hashlib.sha256()
         for report in self.reports:
             hasher.update(report.to_json().encode("utf-8"))
@@ -665,6 +748,8 @@ class CampaignResult:
             out["metrics"] = self.metrics
         if self.pool is not None:
             out["pool"] = self.pool
+        if self.service is not None:
+            out["service"] = self.service
         return out
 
 

@@ -190,10 +190,18 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
     ``--chaos`` derives a per-attempt plan from each attempt's seed, and
     ``--workers N`` fans the attempts out across a process pool — the
     report digest is identical for every worker count (docs/CAMPAIGNS.md).
+
+    ``--checkpoint DIR`` routes execution through the campaign service:
+    attempts are journaled as they complete, ``--resume`` continues an
+    interrupted run, ``--shard i/N`` runs one interleaved partition, and
+    ``--merge-shards`` folds completed shard journals into the serial
+    digest.  ``--stream-out FILE`` additionally appends each report to
+    FILE as a JSON line the moment it lands.
     """
     from repro.attack.explframe import ExplFrameConfig
     from repro.attack.orchestrator import AttackCampaign, OrchestratorConfig
     from repro.attack.templating import TemplatorConfig
+    from repro.sim.errors import ConfigError
     from repro.sim.units import SECOND
 
     campaign = AttackCampaign(
@@ -215,7 +223,31 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
         workers=args.workers,
         pool_mode=args.pool_mode,
     )
-    result = campaign.run()
+    if args.checkpoint is None:
+        for flag, name in (
+            (args.resume, "--resume"),
+            (args.shard != "0/1", "--shard"),
+            (args.merge_shards, "--merge-shards"),
+            (args.stream_out, "--stream-out"),
+        ):
+            if flag:
+                raise ConfigError(f"{name} requires --checkpoint DIR")
+        result = campaign.run()
+    else:
+        from repro.parallel.service import CampaignService, Shard, merge_shards
+
+        if args.merge_shards:
+            result = merge_shards(args.checkpoint, campaign=campaign)
+        else:
+            result = CampaignService(
+                campaign,
+                args.checkpoint,
+                shard=Shard.parse(args.shard),
+                resume=args.resume,
+                stream_out=args.stream_out,
+                window=args.window,
+                worker_retries=args.worker_retries,
+            ).run()
     if args.json:
         import json
 
@@ -233,7 +265,17 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
             "serial",
         )
         print(f"pool:                 {workers} worker(s), {mode} dispatch")
-    if args.chaos != "none":
+    if result.service is not None:
+        journaled = result.service["campaign.service.attempts_journaled"]
+        resumed = result.service["campaign.service.attempts_resumed"]
+        retries = result.service["campaign.service.worker_retries"]
+        print(
+            f"service:              {journaled} journaled, {resumed} resumed, "
+            f"{retries} worker retr{'y' if retries == 1 else 'ies'}"
+        )
+        if args.checkpoint is not None:
+            print(f"checkpoint:           {args.checkpoint}")
+    if args.chaos != "none" and result.reports:
         fired = sum(len(report.chaos_events) for report in result.reports)
         print(f"chaos events fired:   {fired} across {result.attempts} attempts")
     for index, report in enumerate(result.reports):
@@ -417,6 +459,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --workers > 1 and --fork-from-template: ship the pickled "
         "warm snapshot to workers (default) or re-warm in each worker",
     )
+    attack.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="with --campaign: journal every attempt to DIR (crash-safe "
+        "campaign service; see docs/CAMPAIGNS.md)",
+    )
+    attack.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint: continue an interrupted campaign from the "
+        "journal instead of refusing to touch it",
+    )
+    attack.add_argument(
+        "--shard",
+        metavar="I/N",
+        default="0/1",
+        help="with --checkpoint: run only attempt indices congruent to I "
+        "mod N (default 0/1 = the whole campaign)",
+    )
+    attack.add_argument(
+        "--merge-shards",
+        action="store_true",
+        help="with --checkpoint: merge completed shard journals in DIR "
+        "into the serial campaign digest instead of running attempts",
+    )
+    attack.add_argument(
+        "--stream-out",
+        metavar="FILE",
+        default=None,
+        help="with --checkpoint: append each attempt report to FILE as a "
+        "JSON line the moment it completes",
+    )
+    attack.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --checkpoint: max attempts in flight over the pool "
+        "(default 0 = 2x workers)",
+    )
+    attack.add_argument(
+        "--worker-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="with --checkpoint: times one attempt may be re-dispatched "
+        "after its worker died (default 2)",
+    )
     from repro.sim.chaos import CHAOS_PROFILES
 
     attack.add_argument(
@@ -511,17 +602,20 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
     0 = success, 1 = the command ran but failed (e.g. key not recovered),
-    2 = invalid arguments or configuration.
+    2 = invalid arguments, configuration, or an unusable checkpoint.
     """
-    from repro.sim.errors import ConfigError
+    from repro.sim.errors import CheckpointError, ConfigError, WorkerLostError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ConfigError as exc:
+    except (ConfigError, CheckpointError) as exc:
         print(f"{parser.prog}: error: {exc}", file=sys.stderr)
         return 2
+    except WorkerLostError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

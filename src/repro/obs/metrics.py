@@ -43,6 +43,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricFamily",
+    "MetricStateAccumulator",
     "MetricsRegistry",
     "NULL_COUNTER",
     "NULL_GAUGE",
@@ -340,20 +341,25 @@ def _render_histogram(buckets: Sequence, bucket_counts: Sequence, count, total):
     return {"count": count, "sum": total, "buckets": cumulative}
 
 
-def merge_metric_states(states: Sequence[dict]) -> dict:
-    """Fold :meth:`MetricsRegistry.export_state` dumps into one block.
+class MetricStateAccumulator:
+    """Streaming fold over :meth:`MetricsRegistry.export_state` dumps.
 
-    ``states`` is ordered (campaign attempt order); the result depends
-    only on that order, never on which worker produced each dump:
-
-    - counters: summed across every state where the instance appears;
-    - histograms: bucket counts added bucket-wise (bucket bounds must
-      agree across states), rendered cumulatively like a live snapshot;
-    - gauges: one value per source state, in order, ``None`` where the
-      instance is absent — a point-in-time value has no meaningful sum.
+    :func:`merge_metric_states` needs every state in memory at once; a
+    streaming campaign service that journals and releases each attempt
+    cannot afford that.  The accumulator ingests one dump at a time
+    (:meth:`add`, in attempt order) and renders the identical merged
+    block on :meth:`result` — ``merge_metric_states(states)`` is defined
+    as ``add`` in a loop, so the two can never drift apart.
     """
-    families: dict[str, dict] = {}
-    for index, state in enumerate(states):
+
+    def __init__(self) -> None:
+        self._families: dict[str, dict] = {}
+        self._count = 0
+
+    def add(self, state: dict) -> None:
+        """Fold one exported state into the accumulator (order matters)."""
+        index = self._count
+        families = self._families
         for name, dump in state.items():
             merged = families.get(name)
             if merged is None:
@@ -398,23 +404,48 @@ def merge_metric_states(states: Sequence[dict]) -> dict:
                         slot["bucket_counts"][i] += n
                     slot["count"] += raw["count"]
                     slot["sum"] += raw["sum"]
-    out: dict = {"sources": len(states), "families": {}}
-    for name in sorted(families):
-        merged = families[name]
-        instances: dict = {}
-        for key in sorted(merged["instances"]):
-            raw = merged["instances"][key]
-            if merged["kind"] == "gauge":
-                raw = raw + [None] * (len(states) - len(raw))
-            elif merged["kind"] == "histogram":
-                raw = _render_histogram(
-                    merged["buckets"], raw["bucket_counts"],
-                    raw["count"], raw["sum"],
-                )
-            instances[key] = raw
-        out["families"][name] = {
-            "kind": merged["kind"],
-            "unit": merged["unit"],
-            "instances": instances,
-        }
-    return out
+        self._count += 1
+
+    def result(self) -> dict:
+        """Render the merged block (callable once all states are added)."""
+        out: dict = {"sources": self._count, "families": {}}
+        for name in sorted(self._families):
+            merged = self._families[name]
+            instances: dict = {}
+            for key in sorted(merged["instances"]):
+                raw = merged["instances"][key]
+                if merged["kind"] == "gauge":
+                    raw = raw + [None] * (self._count - len(raw))
+                elif merged["kind"] == "histogram":
+                    raw = _render_histogram(
+                        merged["buckets"], raw["bucket_counts"],
+                        raw["count"], raw["sum"],
+                    )
+                instances[key] = raw
+            out["families"][name] = {
+                "kind": merged["kind"],
+                "unit": merged["unit"],
+                "instances": instances,
+            }
+        return out
+
+
+def merge_metric_states(states: Sequence[dict]) -> dict:
+    """Fold :meth:`MetricsRegistry.export_state` dumps into one block.
+
+    ``states`` is ordered (campaign attempt order); the result depends
+    only on that order, never on which worker produced each dump:
+
+    - counters: summed across every state where the instance appears;
+    - histograms: bucket counts added bucket-wise (bucket bounds must
+      agree across states), rendered cumulatively like a live snapshot;
+    - gauges: one value per source state, in order, ``None`` where the
+      instance is absent — a point-in-time value has no meaningful sum.
+
+    Equivalent to one :class:`MetricStateAccumulator` pass; use the
+    accumulator directly when the states arrive as a stream.
+    """
+    accumulator = MetricStateAccumulator()
+    for state in states:
+        accumulator.add(state)
+    return accumulator.result()

@@ -1,19 +1,39 @@
-"""Multiprocess execution backend for campaigns and sweeps.
+"""Multiprocess execution backends for campaigns and sweeps.
 
-See :mod:`repro.parallel.pool` for the worker-pool layer and
-``docs/CAMPAIGNS.md`` for the execution contract it implements.
+:mod:`repro.parallel.pool` is the worker-pool layer (one-shot,
+in-memory); :mod:`repro.parallel.service` is the checkpointed campaign
+service built on top of it (resumable, shardable, streaming).  Both
+implement the execution contract in ``docs/CAMPAIGNS.md``.
 """
 
 from repro.parallel.pool import (
+    dispatch_mode,
+    iter_campaign,
     make_pool_block,
     register_pool_metrics,
     run_campaign,
     run_sweep,
 )
+from repro.parallel.service import (
+    CampaignService,
+    Shard,
+    campaign_config_hash,
+    make_service_block,
+    merge_shards,
+    register_service_metrics,
+)
 
 __all__ = [
+    "CampaignService",
+    "Shard",
+    "campaign_config_hash",
+    "dispatch_mode",
+    "iter_campaign",
     "make_pool_block",
+    "make_service_block",
+    "merge_shards",
     "register_pool_metrics",
+    "register_service_metrics",
     "run_campaign",
     "run_sweep",
 ]

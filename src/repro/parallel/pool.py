@@ -35,6 +35,18 @@ the merged per-attempt ``metrics`` block.  The block's keys are the
 ``campaign.pool.*`` family documented in docs/OBSERVABILITY.md and
 registered through :func:`register_pool_metrics` so the telemetry-docs
 checker covers them.
+
+Dispatch is *bounded*: :func:`iter_campaign` keeps at most a small
+window of attempts in flight and yields each outcome as it completes, so
+a 10k-attempt campaign never holds 10k futures (or their results) at
+once.  :func:`run_campaign` collects the stream into an in-memory
+:class:`~repro.attack.orchestrator.CampaignResult`; the checkpointed
+campaign service (:mod:`repro.parallel.service`) journals and releases
+each outcome instead.  A worker that dies mid-attempt (OOM kill,
+segfault, SIGKILL) surfaces as a typed
+:class:`~repro.sim.errors.WorkerLostError` naming the attempt whose
+result was lost — never as a hang or an opaque ``BrokenProcessPool``
+traceback.
 """
 
 from __future__ import annotations
@@ -42,11 +54,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, as_completed, wait
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.obs.metrics import MetricsRegistry
+from repro.sim.errors import WorkerLostError
 
 __all__ = [
+    "dispatch_mode",
+    "iter_campaign",
     "make_pool_block",
     "register_pool_metrics",
     "run_campaign",
@@ -159,48 +175,114 @@ def _campaign_attempt(index: int):
     return index, report, metrics_state, os.getpid(), wall_ns
 
 
-def run_campaign(campaign):
-    """Execute ``campaign`` on a process pool; called via ``workers > 1``.
+def dispatch_mode(campaign) -> str:
+    """How warm state reaches the workers: ``ship``, ``rewarm`` or ``rebuild``."""
+    if not campaign.fork_from_template:
+        return "rebuild"
+    return campaign.pool_mode
 
-    Streams attempt reports back as they complete, then re-orders by
-    attempt index so the digest and the merged metrics block match the
-    serial path exactly.
+
+def iter_campaign(campaign, indices, *, window: int = 0, snapshot_blob=None):
+    """Yield ``(index, report, metrics_state, pid, wall_ns)`` as attempts finish.
+
+    The streaming core of pooled dispatch: at most ``window`` attempts
+    (default ``2 * workers``) are submitted at a time, and each outcome
+    is yielded — and released — as soon as its future completes, so
+    memory stays bounded by the window, not the campaign size.  Yield
+    order is completion order; callers that need attempt order (the
+    digest does) re-order or journal by the yielded ``index``.
+
+    ``snapshot_blob`` lets a caller that already holds the pickled warm
+    snapshot (the campaign service re-uses one across worker-loss pool
+    rebuilds) skip the warm pass; without it, ship-mode campaigns warm
+    and pickle here.
+
+    Raises :class:`~repro.sim.errors.WorkerLostError` (carrying the
+    attempt index whose result was lost) when a worker process dies —
+    the ``BrokenProcessPool`` poisons every in-flight future, so the
+    caller must assume only the attempts already yielded are done.
     """
-    workers = min(campaign.workers, campaign.attempts)
-    snapshot_blob = None
+    indices = list(indices)
+    if not indices:
+        return
+    workers = max(1, min(campaign.workers, len(indices)))
+    window = window if window > 0 else 2 * workers
     warm_locally = False
     if campaign.fork_from_template:
-        mode = campaign.pool_mode
-        if mode == "ship":
-            snapshot_blob = campaign._warm_snapshot().to_bytes()
+        if campaign.pool_mode == "ship":
+            if snapshot_blob is None:
+                snapshot_blob = campaign._warm_snapshot().to_bytes()
         else:
+            snapshot_blob = None
             warm_locally = True
     else:
-        mode = "rebuild"
-    outcomes: list = [None] * campaign.attempts
-    wall_by_pid: dict[int, int] = {}
-    completed = 0
-    with ProcessPoolExecutor(
+        snapshot_blob = None
+    remaining = iter(indices)
+    pending: dict = {}
+    pool = ProcessPoolExecutor(
         max_workers=workers,
         mp_context=_context(),
         initializer=_campaign_init,
         initargs=(campaign, snapshot_blob, warm_locally),
-    ) as pool:
-        futures = {
-            pool.submit(_campaign_attempt, index): index
-            for index in range(campaign.attempts)
-        }
-        for future in as_completed(futures):
-            index, report, metrics_state, pid, wall_ns = future.result()
-            outcomes[index] = (report, metrics_state)
-            wall_by_pid[pid] = wall_by_pid.get(pid, 0) + wall_ns
-            completed += 1
+    )
+    try:
+        def top_up():
+            while len(pending) < window:
+                try:
+                    index = next(remaining)
+                except StopIteration:
+                    return
+                try:
+                    pending[pool.submit(_campaign_attempt, index)] = index
+                except BrokenProcessPool as exc:
+                    raise WorkerLostError(
+                        f"worker pool broke before attempt {index} could be "
+                        "submitted", attempt=index,
+                    ) from exc
+
+        top_up()
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    yield future.result()
+                except BrokenProcessPool as exc:
+                    raise WorkerLostError(
+                        f"worker process died while attempt {index} was in "
+                        "flight", attempt=index,
+                    ) from exc
+            top_up()
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_campaign(campaign):
+    """Execute ``campaign`` on a process pool; called via ``workers > 1``.
+
+    Streams attempt reports back as they complete (bounded in-flight
+    window), then re-orders by attempt index so the digest and the
+    merged metrics block match the serial path exactly.  Worker death
+    raises :class:`~repro.sim.errors.WorkerLostError`; retrying belongs
+    to the checkpointed service (:mod:`repro.parallel.service`), which
+    journals completed attempts so nothing already run is lost.
+    """
+    workers = min(campaign.workers, campaign.attempts)
+    outcomes: list = [None] * campaign.attempts
+    wall_by_pid: dict[int, int] = {}
+    completed = 0
+    for index, report, metrics_state, pid, wall_ns in iter_campaign(
+        campaign, range(campaign.attempts)
+    ):
+        outcomes[index] = (report, metrics_state)
+        wall_by_pid[pid] = wall_by_pid.get(pid, 0) + wall_ns
+        completed += 1
     worker_wall_ns = {
         worker: wall_by_pid[pid] for worker, pid in enumerate(sorted(wall_by_pid))
     }
     block = make_pool_block(
         workers=workers,
-        mode=mode,
+        mode=dispatch_mode(campaign),
         dispatched=campaign.attempts,
         completed=completed,
         worker_wall_ns=worker_wall_ns,

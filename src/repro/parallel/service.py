@@ -1,0 +1,749 @@
+"""Resumable, sharded campaign service: crash-safe checkpoints, streaming results.
+
+The process pool (:mod:`repro.parallel.pool`) is one-shot and in-memory:
+a crash, an OOM kill or a preempted host discards every attempt already
+simulated.  :class:`CampaignService` turns a campaign into a restartable
+service with four properties, none of which changes a single result bit
+(docs/CAMPAIGNS.md is the contract):
+
+* **Checkpointed** — every completed attempt is appended to a CRC-framed
+  JSONL *journal* and fsync'd, alongside an atomically-replaced
+  *manifest* recording the campaign config hash, the warm-snapshot
+  digest and progress.  ``kill -9`` at any instant loses at most the
+  attempt being written; resume re-runs it and the final digest is
+  bit-identical to an uninterrupted run.
+* **Shardable** — ``shard=i/N`` owns attempt indices ``i, i+N, i+2N,
+  ...``.  N independent invocations (different hosts, different times)
+  each journal their own shard; :func:`merge_shards` folds the journals
+  back into the exact serial digest and
+  :func:`~repro.obs.metrics.merge_metric_states`-merged metrics block.
+* **Streaming** — attempt reports are journaled and *released*, never
+  accumulated; pooled dispatch keeps a bounded in-flight window
+  (:func:`~repro.parallel.pool.iter_campaign`), so RSS is near-constant
+  in campaign size.  The returned
+  :class:`~repro.attack.orchestrator.CampaignResult` carries a
+  ``summary`` block (digest, counts) instead of report objects.
+* **Worker-loss tolerant** — a died pool worker surfaces as
+  :class:`~repro.sim.errors.WorkerLostError`; the service rebuilds the
+  pool (re-using the already-pickled warm snapshot) and re-dispatches
+  the lost attempts, up to a per-attempt retry budget.  Retries are
+  invisible in the results: attempt ``i`` is a pure function of its
+  seed, wherever and however often it runs.
+
+Journal format (one record per line, torn-write detectable)::
+
+    <payload-len> <crc32-hex8> <canonical-json-payload>\\n
+
+where the payload is ``{"index": i, "report": AttackRunReport.to_dict(),
+"state": MetricsRegistry.export_state()}`` serialised with sorted keys
+and compact separators.  A record whose length or CRC does not match —
+the torn tail of a ``kill -9`` mid-write — is dropped and its attempt
+re-run; an invalid record *followed by* a valid one means real
+corruption and raises :class:`~repro.sim.errors.CheckpointError`.
+
+Everything host-dependent about a service run (journal bytes, retries,
+torn records) lands in the result's ``service`` block — the
+``campaign.service.*`` metric family in docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry, MetricStateAccumulator
+from repro.parallel.pool import dispatch_mode, iter_campaign, make_pool_block
+from repro.sim.errors import CheckpointError, ConfigError, WorkerLostError
+
+__all__ = [
+    "CampaignService",
+    "Shard",
+    "campaign_config_hash",
+    "make_service_block",
+    "merge_shards",
+    "register_service_metrics",
+]
+
+MANIFEST_VERSION = 1
+
+# The journal is the durable record of progress (resume scans it, never
+# the manifest's advisory `completed` counter), so the manifest's
+# atomic-replace cost — two fsyncs plus a rename — need not be paid per
+# attempt.  It is refreshed every this-many journaled records, and
+# always at start and completion.
+MANIFEST_REFRESH_EVERY = 64
+
+
+# -- sharding ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One of N interleaved partitions of a campaign's attempt indices.
+
+    Shard ``i/N`` owns every attempt index congruent to ``i`` mod ``N``
+    — a pure function of the index, so any subset of shards can run
+    anywhere, in any order, and still tile the campaign exactly.
+    """
+
+    index: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError(f"shard count must be at least 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ConfigError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> Shard:
+        """Parse the CLI form ``"i/N"`` (e.g. ``"0/4"``)."""
+        try:
+            index_text, count_text = spec.split("/", 1)
+            return cls(index=int(index_text), count=int(count_text))
+        except ValueError as exc:
+            raise ConfigError(
+                f"shard spec {spec!r} is not of the form 'i/N'"
+            ) from exc
+
+    @property
+    def spec(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    @property
+    def tag(self) -> str:
+        """Filesystem-safe name fragment (``0of4``)."""
+        return f"{self.index}of{self.count}"
+
+    def indices(self, attempts: int) -> range:
+        """The attempt indices this shard owns, ascending."""
+        return range(self.index, attempts, self.count)
+
+
+def campaign_config_hash(campaign) -> str:
+    """Hash of everything that determines campaign *results*.
+
+    Covers the machine config, attempt count, attack and orchestrator
+    configs, warm strategy and chaos knobs — all frozen dataclasses with
+    deterministic reprs.  Engine choices with zero result consequences
+    (workers, pool mode, shard, window) are deliberately excluded: a
+    campaign checkpointed on 4 workers may resume on 1, or sharded
+    differently, without tripping the mismatch check.
+    """
+    description = repr((
+        campaign.base_config,
+        campaign.attempts,
+        campaign.attack_config,
+        campaign.orchestrator_config,
+        campaign.fork_from_template,
+        campaign.chaos_profile,
+        campaign.chaos_intensity,
+    ))
+    return hashlib.sha256(description.encode("utf-8")).hexdigest()
+
+
+# -- journal framing ---------------------------------------------------------------
+
+
+def encode_record(record: dict) -> bytes:
+    """Frame one journal record: ``<len> <crc32> <payload>\\n``."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return b"%d %08x %s\n" % (len(payload), zlib.crc32(payload), payload)
+
+
+def decode_line(line: bytes) -> dict | None:
+    """The record on ``line``, or ``None`` if framing or CRC fails."""
+    try:
+        length_text, crc_text, payload = line.rstrip(b"\n").split(b" ", 2)
+        if len(payload) != int(length_text):
+            return None
+        if zlib.crc32(payload) != int(crc_text, 16):
+            return None
+        return json.loads(payload)
+    except ValueError:
+        return None
+
+
+def scan_journal(path) -> tuple[dict[int, int], int, int]:
+    """Validate a journal; ``(index -> record offset, valid end, torn dropped)``.
+
+    Tolerates a torn *tail* — one or more invalid records at the very
+    end, the signature of a crash mid-append — by dropping it (the
+    caller truncates to ``valid end`` before appending).  An invalid
+    record followed by a valid one is not a torn write but corruption,
+    and raises :class:`CheckpointError`: silently skipping it would
+    resurrect a journal whose contents can no longer be trusted.
+    """
+    offsets: dict[int, int] = {}
+    valid_end = 0
+    torn = 0
+    first_bad: int | None = None
+    offset = 0
+    with open(path, "rb") as fh:
+        for line in fh:
+            record = decode_line(line)
+            if record is None:
+                if first_bad is None:
+                    first_bad = offset
+                torn += 1
+            else:
+                if first_bad is not None:
+                    raise CheckpointError(
+                        f"{path}: valid record at byte {offset} follows a "
+                        f"corrupt record at byte {first_bad}; the journal is "
+                        "damaged beyond a torn tail and cannot be resumed"
+                    )
+                offsets[record["index"]] = offset
+                valid_end = offset + len(line)
+            offset += len(line)
+    return offsets, valid_end, torn
+
+
+def _read_record(fh, offset: int, index: int, path) -> dict:
+    """Re-read one validated record during the finalize pass."""
+    fh.seek(offset)
+    record = decode_line(fh.readline())
+    if record is None or record["index"] != index:
+        raise CheckpointError(
+            f"{path}: record for attempt {index} at byte {offset} changed "
+            "under the service while finalizing"
+        )
+    return record
+
+
+def _report_json(record: dict) -> bytes:
+    """The attempt's canonical report JSON, byte-identical to ``to_json()``."""
+    return json.dumps(
+        record["report"], sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Durably replace ``path``: write temp, fsync, rename, fsync the dir."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(json.dumps(payload, sort_keys=True, indent=2).encode("utf-8"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+# -- campaign.service.* telemetry --------------------------------------------------
+
+
+def register_service_metrics(registry):
+    """Register the ``campaign.service.*`` family on ``registry``.
+
+    Returns the live handles; also the single source of truth the
+    telemetry-docs checker uses to learn the family exists.
+    """
+    return {
+        "journaled": registry.counter(
+            "campaign.service.attempts_journaled", unit="attempts",
+            help="attempt reports appended to the shard journal this run",
+        ),
+        "resumed": registry.counter(
+            "campaign.service.attempts_resumed", unit="attempts",
+            help="attempts recovered from the journal instead of re-run",
+        ),
+        "torn": registry.counter(
+            "campaign.service.torn_records_dropped", unit="records",
+            help="corrupt trailing journal records dropped at resume",
+        ),
+        "worker_retries": registry.counter(
+            "campaign.service.worker_retries", unit="retries",
+            help="attempts re-dispatched after their worker died",
+        ),
+        "workers_lost": registry.counter(
+            "campaign.service.workers_lost", unit="failures",
+            help="pool breakages survived by rebuilding the pool",
+        ),
+        "journal_bytes": registry.gauge(
+            "campaign.service.journal_bytes", unit="bytes",
+            help="size of the shard journal after the run",
+        ),
+        "window": registry.gauge(
+            "campaign.service.inflight_window", unit="attempts",
+            help="bound on attempts in flight over the pool",
+        ),
+        "shard_attempts": registry.gauge(
+            "campaign.service.shard_attempts", unit="attempts",
+            help="attempt indices owned by this shard",
+        ),
+    }
+
+
+def make_service_block(
+    *,
+    journaled: int,
+    resumed: int,
+    torn: int,
+    worker_retries: int,
+    workers_lost: int,
+    journal_bytes: int,
+    window: int,
+    shard_attempts: int,
+) -> dict:
+    """The ``service`` result block: a snapshot of the campaign.service.* family."""
+    registry = MetricsRegistry(enabled=True)
+    handles = register_service_metrics(registry)
+    handles["journaled"].inc(journaled)
+    handles["resumed"].inc(resumed)
+    handles["torn"].inc(torn)
+    handles["worker_retries"].inc(worker_retries)
+    handles["workers_lost"].inc(workers_lost)
+    handles["journal_bytes"].set(journal_bytes)
+    handles["window"].set(window)
+    handles["shard_attempts"].set(shard_attempts)
+    return registry.snapshot()
+
+
+# -- serial streaming --------------------------------------------------------------
+
+
+def _iter_serial(campaign, indices, snapshot=None):
+    """In-process analogue of ``iter_campaign`` (workers == 1)."""
+    if campaign.fork_from_template:
+        if snapshot is None:
+            snapshot = campaign._warm_snapshot()
+        for index in indices:
+            start = time.perf_counter_ns()
+            machine, extras = snapshot.fork()
+            report, state = campaign._run_attempt(
+                machine, extras["attack"], extras["candidates"], index
+            )
+            yield index, report, state, os.getpid(), time.perf_counter_ns() - start
+    else:
+        for index in indices:
+            start = time.perf_counter_ns()
+            report, state = campaign._run_attempt_fresh(index)
+            yield index, report, state, os.getpid(), time.perf_counter_ns() - start
+
+
+# -- the service -------------------------------------------------------------------
+
+
+class CampaignService:
+    """Checkpointed execution of one campaign shard (see module docstring).
+
+    ``run()`` is idempotent: a fresh directory runs the shard from
+    attempt zero; an interrupted checkpoint (with ``resume=True``)
+    continues from the last valid journal record; a completed checkpoint
+    just re-finalizes from the journal without running anything.  The
+    returned :class:`~repro.attack.orchestrator.CampaignResult` is
+    summary-only (reports live in the journal) and its digest is
+    bit-identical to the in-memory engines' for the same shard.
+    """
+
+    def __init__(
+        self,
+        campaign,
+        checkpoint_dir,
+        *,
+        shard: Shard | None = None,
+        resume: bool = False,
+        stream_out=None,
+        window: int = 0,
+        worker_retries: int = 2,
+    ):
+        if window < 0:
+            raise ConfigError(f"window must be non-negative, got {window}")
+        if worker_retries < 0:
+            raise ConfigError(
+                f"worker_retries must be non-negative, got {worker_retries}"
+            )
+        self.campaign = campaign
+        self.directory = Path(checkpoint_dir)
+        self.shard = shard or Shard()
+        self.resume = resume
+        self.stream_out = stream_out
+        self.worker_retries = worker_retries
+        workers = max(1, campaign.workers)
+        self.window = window if window > 0 else 2 * workers
+        self.journal_path = self.directory / f"journal-{self.shard.tag}.jsonl"
+        self.manifest_path = self.directory / f"manifest-{self.shard.tag}.json"
+        self._counters = {
+            "journaled": 0, "resumed": 0, "torn": 0,
+            "worker_retries": 0, "workers_lost": 0,
+        }
+
+    # -- manifest ----------------------------------------------------------------
+
+    def _load_manifest(self) -> dict:
+        try:
+            with open(self.manifest_path, "rb") as fh:
+                return json.loads(fh.read())
+        except FileNotFoundError:
+            raise CheckpointError(
+                f"{self.journal_path} exists but its manifest "
+                f"{self.manifest_path} is missing; the checkpoint directory "
+                "is damaged"
+            ) from None
+        except ValueError as exc:
+            raise CheckpointError(
+                f"{self.manifest_path} is not valid JSON: {exc}"
+            ) from exc
+
+    def _write_manifest(
+        self, *, config_hash: str, snapshot_digest: str | None,
+        completed: int, status: str, digest: str | None = None,
+    ) -> None:
+        _write_json_atomic(self.manifest_path, {
+            "version": MANIFEST_VERSION,
+            "config_hash": config_hash,
+            "snapshot_digest": snapshot_digest,
+            "attempts": self.campaign.attempts,
+            "mode": self.campaign.mode,
+            "shard": self.shard.spec,
+            "journal": self.journal_path.name,
+            "completed": completed,
+            "status": status,
+            "digest": digest,
+        })
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self):
+        """Run (or resume) this shard to completion; summary-only result."""
+        campaign = self.campaign
+        self.directory.mkdir(parents=True, exist_ok=True)
+        config_hash = campaign_config_hash(campaign)
+        offsets: dict[int, int] = {}
+        snapshot_digest: str | None = None
+
+        manifest = None
+        if self.journal_path.exists() or self.manifest_path.exists():
+            if not self.resume:
+                raise CheckpointError(
+                    f"{self.directory} already holds a checkpoint for shard "
+                    f"{self.shard.spec}; pass resume=True (--resume) to "
+                    "continue it, or point the service at a fresh directory"
+                )
+            manifest = self._load_manifest()
+            if manifest.get("config_hash") != config_hash:
+                raise CheckpointError(
+                    f"{self.manifest_path}: checkpoint was created by a "
+                    "different campaign configuration (config hash "
+                    f"{manifest.get('config_hash', '?')[:12]}… != "
+                    f"{config_hash[:12]}…); refusing to mix results"
+                )
+            snapshot_digest = manifest.get("snapshot_digest")
+            if self.journal_path.exists():
+                offsets, valid_end, torn = scan_journal(self.journal_path)
+                self._counters["torn"] = torn
+                if torn:
+                    # Drop the torn tail on disk too, so appended records
+                    # don't concatenate into the partial line.
+                    with open(self.journal_path, "r+b") as fh:
+                        fh.truncate(valid_end)
+
+        indices = list(self.shard.indices(campaign.attempts))
+        owned = set(indices)
+        stray = sorted(set(offsets) - owned)
+        if stray:
+            raise CheckpointError(
+                f"{self.journal_path} holds attempts {stray[:4]}... outside "
+                f"shard {self.shard.spec} — was the checkpoint created with a "
+                "different shard spec?"
+            )
+        self._counters["resumed"] = len(offsets)
+        remaining = [index for index in indices if index not in offsets]
+
+        self._write_manifest(
+            config_hash=config_hash, snapshot_digest=snapshot_digest,
+            completed=len(offsets), status="running",
+        )
+
+        wall_by_pid: dict[int, int] = {}
+        if remaining:
+            snapshot = None
+            snapshot_blob = None
+            if campaign.fork_from_template:
+                if campaign.workers > 1 and campaign.pool_mode == "rewarm":
+                    snapshot_digest = None  # workers warm privately; no blob
+                else:
+                    snapshot = campaign._warm_snapshot()
+                    snapshot_blob = snapshot.to_bytes()
+                    snapshot_digest = hashlib.sha256(snapshot_blob).hexdigest()
+                    if manifest is not None and manifest.get("snapshot_digest") not in (
+                        None, snapshot_digest,
+                    ):
+                        # Not fatal — results are a pure function of the
+                        # seeds, not the blob bytes — but worth surfacing.
+                        print(
+                            f"warning: warm-snapshot digest changed across "
+                            f"resume ({manifest['snapshot_digest'][:12]}… -> "
+                            f"{snapshot_digest[:12]}…)",
+                            file=sys.stderr,
+                        )
+            stream_fh = (
+                open(self.stream_out, "a", encoding="utf-8")
+                if self.stream_out else None
+            )
+            journal_fh = open(self.journal_path, "ab")
+            journal_fh.seek(0, os.SEEK_END)
+            try:
+                for outcome in self._execute(remaining, snapshot, snapshot_blob):
+                    index, report, state, pid, wall_ns = outcome
+                    record = {
+                        "index": index,
+                        "report": report.to_dict(),
+                        "state": state,
+                    }
+                    offset = journal_fh.tell()
+                    journal_fh.write(encode_record(record))
+                    journal_fh.flush()
+                    os.fsync(journal_fh.fileno())
+                    offsets[index] = offset
+                    wall_by_pid[pid] = wall_by_pid.get(pid, 0) + wall_ns
+                    self._counters["journaled"] += 1
+                    if stream_fh is not None:
+                        stream_fh.write(json.dumps(
+                            {"index": index, "report": record["report"]},
+                            sort_keys=True, separators=(",", ":"),
+                        ) + "\n")
+                        stream_fh.flush()
+                    if self._counters["journaled"] % MANIFEST_REFRESH_EVERY == 0:
+                        self._write_manifest(
+                            config_hash=config_hash,
+                            snapshot_digest=snapshot_digest,
+                            completed=len(offsets), status="running",
+                        )
+            finally:
+                journal_fh.close()
+                if stream_fh is not None:
+                    stream_fh.close()
+
+        result = self._finalize(indices, offsets, wall_by_pid)
+        self._write_manifest(
+            config_hash=config_hash, snapshot_digest=snapshot_digest,
+            completed=len(offsets), status="complete", digest=result.digest(),
+        )
+        return result
+
+    def _execute(self, remaining, snapshot, snapshot_blob):
+        """Stream outcomes for ``remaining``, surviving worker loss."""
+        campaign = self.campaign
+        if campaign.workers <= 1:
+            yield from _iter_serial(campaign, remaining, snapshot=snapshot)
+            return
+        retries: dict[int, int] = {}
+        pending = list(remaining)
+        while pending:
+            completed: set[int] = set()
+            try:
+                for outcome in iter_campaign(
+                    campaign, pending,
+                    window=self.window, snapshot_blob=snapshot_blob,
+                ):
+                    completed.add(outcome[0])
+                    yield outcome
+                return
+            except WorkerLostError as exc:
+                self._counters["workers_lost"] += 1
+                lost = exc.attempt
+                if lost is not None and lost not in completed:
+                    retries[lost] = retries.get(lost, 0) + 1
+                    self._counters["worker_retries"] += 1
+                    if retries[lost] > self.worker_retries:
+                        raise WorkerLostError(
+                            f"attempt {lost} crashed its worker "
+                            f"{retries[lost]} times (budget "
+                            f"{self.worker_retries}); giving up — the "
+                            "journal holds every completed attempt",
+                            attempt=lost,
+                        ) from exc
+                pending = [
+                    index for index in pending if index not in completed
+                ]
+
+    # -- finalize ----------------------------------------------------------------
+
+    def _finalize(self, indices, offsets, wall_by_pid):
+        """Second pass over the journal: digest + merged metrics, in order."""
+        from repro.attack.orchestrator import CampaignResult
+
+        campaign = self.campaign
+        missing = [index for index in indices if index not in offsets]
+        if missing:
+            raise CheckpointError(
+                f"{self.journal_path}: attempts {missing[:4]}... were never "
+                "journaled; the shard did not complete"
+            )
+        hasher = hashlib.sha256()
+        accumulator = MetricStateAccumulator()
+        successes = 0
+        with open(self.journal_path, "rb") as fh:
+            for index in indices:
+                record = _read_record(fh, offsets[index], index, self.journal_path)
+                hasher.update(_report_json(record))
+                hasher.update(b"\n")
+                accumulator.add(record["state"])
+                if record["report"]["success"]:
+                    successes += 1
+        workers = min(max(1, campaign.workers), max(1, len(indices)))
+        pool_block = make_pool_block(
+            workers=workers,
+            mode="serial" if campaign.workers <= 1 else dispatch_mode(campaign),
+            dispatched=self._counters["journaled"] + self._counters["worker_retries"],
+            completed=self._counters["journaled"],
+            worker_wall_ns={
+                worker: wall_by_pid[pid]
+                for worker, pid in enumerate(sorted(wall_by_pid))
+            },
+        )
+        service_block = make_service_block(
+            journaled=self._counters["journaled"],
+            resumed=self._counters["resumed"],
+            torn=self._counters["torn"],
+            worker_retries=self._counters["worker_retries"],
+            workers_lost=self._counters["workers_lost"],
+            journal_bytes=self.journal_path.stat().st_size,
+            window=self.window,
+            shard_attempts=len(indices),
+        )
+        return CampaignResult(
+            reports=(),
+            mode=campaign.mode,
+            metrics=accumulator.result(),
+            pool=pool_block,
+            service=service_block,
+            summary={
+                "attempts": len(indices),
+                "successes": successes,
+                "digest": hasher.hexdigest(),
+            },
+        )
+
+
+# -- shard merge -------------------------------------------------------------------
+
+
+def merge_shards(checkpoint_dir, campaign=None):
+    """Fold every shard journal in ``checkpoint_dir`` into one result.
+
+    Walks attempt indices ``0..attempts-1`` in order, reading each
+    record from the journal of the shard that owns it (``index mod N``),
+    so the digest and the merged metrics block come out exactly as an
+    unsharded serial run's.  Every shard must be present and complete;
+    pass ``campaign`` to additionally pin the config hash.
+    """
+    from repro.attack.orchestrator import CampaignResult
+
+    directory = Path(checkpoint_dir)
+    manifests = {}
+    for path in sorted(directory.glob("manifest-*.json")):
+        with open(path, "rb") as fh:
+            try:
+                manifest = json.loads(fh.read())
+            except ValueError as exc:
+                raise CheckpointError(f"{path} is not valid JSON: {exc}") from exc
+        shard = Shard.parse(manifest["shard"])
+        manifests[shard] = manifest
+    if not manifests:
+        raise CheckpointError(f"{directory} holds no shard manifests to merge")
+
+    counts = {shard.count for shard in manifests}
+    if len(counts) != 1:
+        raise CheckpointError(
+            f"{directory} mixes shard counts {sorted(counts)}; every shard "
+            "must come from the same i/N partitioning"
+        )
+    count = counts.pop()
+    present = {shard.index for shard in manifests}
+    absent = sorted(set(range(count)) - present)
+    if absent:
+        raise CheckpointError(
+            f"{directory} is missing shards {absent} of {count}; run them "
+            "before merging"
+        )
+
+    hashes = {manifest["config_hash"] for manifest in manifests.values()}
+    attempts_seen = {manifest["attempts"] for manifest in manifests.values()}
+    if len(hashes) != 1 or len(attempts_seen) != 1:
+        raise CheckpointError(
+            f"{directory} mixes campaigns (config hashes {sorted(hashes)}); "
+            "shards of different campaigns cannot merge"
+        )
+    config_hash = hashes.pop()
+    attempts = attempts_seen.pop()
+    if campaign is not None:
+        expected = campaign_config_hash(campaign)
+        if expected != config_hash:
+            raise CheckpointError(
+                f"{directory}: shard checkpoints were created by a different "
+                f"campaign configuration (config hash {config_hash[:12]}… != "
+                f"{expected[:12]}…)"
+            )
+        if campaign.attempts != attempts:
+            raise CheckpointError(
+                f"{directory}: shards cover {attempts} attempts, campaign "
+                f"expects {campaign.attempts}"
+            )
+    modes = {manifest["mode"] for manifest in manifests.values()}
+
+    by_index: dict[int, tuple] = {}
+    journal_bytes = 0
+    torn_total = 0
+    try:
+        for shard, manifest in manifests.items():
+            path = directory / manifest["journal"]
+            offsets, _valid_end, torn = scan_journal(path)
+            torn_total += torn
+            owned = set(shard.indices(attempts))
+            missing = sorted(owned - set(offsets))
+            if missing:
+                raise CheckpointError(
+                    f"{path}: shard {shard.spec} never journaled attempts "
+                    f"{missing[:4]}...; resume it to completion before merging"
+                )
+            journal_bytes += path.stat().st_size
+            handle = open(path, "rb")
+            for index in owned:
+                by_index[index] = (handle, offsets[index], path)
+
+        hasher = hashlib.sha256()
+        accumulator = MetricStateAccumulator()
+        successes = 0
+        for index in range(attempts):
+            handle, offset, path = by_index[index]
+            record = _read_record(handle, offset, index, path)
+            hasher.update(_report_json(record))
+            hasher.update(b"\n")
+            accumulator.add(record["state"])
+            if record["report"]["success"]:
+                successes += 1
+    finally:
+        for handle in {entry[0] for entry in by_index.values()}:
+            handle.close()
+
+    service_block = make_service_block(
+        journaled=0, resumed=attempts, torn=torn_total,
+        worker_retries=0, workers_lost=0,
+        journal_bytes=journal_bytes, window=0, shard_attempts=attempts,
+    )
+    return CampaignResult(
+        reports=(),
+        mode=modes.pop() if len(modes) == 1 else "mixed",
+        metrics=accumulator.result(),
+        pool=None,
+        service=service_block,
+        summary={
+            "attempts": attempts,
+            "successes": successes,
+            "digest": hasher.hexdigest(),
+        },
+    )

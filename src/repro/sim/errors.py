@@ -42,6 +42,33 @@ class CapabilityError(ReproError):
     """A privileged operation was attempted without the required capability."""
 
 
+class WorkerLostError(ReproError):
+    """A pool worker process died while running a campaign attempt.
+
+    Raised by the parallel execution layer when a worker vanishes
+    mid-campaign (``BrokenProcessPool``, a SIGKILL'd child, an
+    ``os._exit`` inside attempt code) instead of surfacing the executor's
+    opaque traceback.  Carries the index of the attempt whose result was
+    lost so a retrying driver (the campaign service) can re-dispatch
+    exactly that attempt on a fresh worker.
+    """
+
+    def __init__(self, message: str, *, attempt: int | None = None):
+        super().__init__(message)
+        self.attempt = attempt
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint directory cannot be used as asked.
+
+    Raised by the campaign service when a checkpoint exists but resume
+    was not requested, when the manifest's config hash does not match the
+    campaign being run, when a journal is corrupted beyond its torn tail
+    (an invalid record *followed by* valid ones), or when a shard merge
+    finds the shard set incomplete or inconsistent.
+    """
+
+
 class FaultError(ReproError):
     """A fault-injection or fault-analysis step failed."""
 

@@ -24,6 +24,7 @@ from repro.obs.metrics import (
     NULL_GAUGE,
     NULL_HISTOGRAM,
     MetricsRegistry,
+    MetricStateAccumulator,
     merge_metric_states,
 )
 from repro.parallel.pool import make_pool_block, register_pool_metrics
@@ -109,6 +110,18 @@ class TestMergeMetricStates:
         families = merged["families"]
         assert families["t.count"]["instances"]["t.count"] == live["t.count"]
         assert families["t.size"]["instances"]["t.size"] == live["t.size"]
+
+    def test_streaming_accumulator_is_identical_to_batch_merge(self):
+        """MetricStateAccumulator folds one-at-a-time to the same block."""
+        states = [
+            self._registry(counter=2, gauge=1, observations=(5,)).export_state(),
+            self._registry(counter=3, observations=(50, 500)).export_state(),
+            self._registry(gauge=9).export_state(),
+        ]
+        accumulator = MetricStateAccumulator()
+        for state in states:
+            accumulator.add(state)
+        assert accumulator.result() == merge_metric_states(states)
 
 
 class TestSnapshotPickling:

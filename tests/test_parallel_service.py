@@ -1,0 +1,428 @@
+"""Campaign service: crash-safe checkpoints, sharding, worker-loss retry.
+
+The contract under test (docs/CAMPAIGNS.md): checkpointing, resuming,
+sharding and worker loss are engine events, never result events.  A
+service run's digest must equal the in-memory engines' digest for the
+same campaign; a ``kill -9`` mid-run, a torn trailing journal record, a
+died pool worker or an i/N shard split must all resume/merge back to
+that exact digest.  Framing, manifest and config-hash plumbing get unit
+tests; the end-to-end crash path runs through the subprocess smoke
+driver (scripts/service_smoke.py) against the real CLI.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.attack.explframe import ExplFrameConfig
+from repro.attack.orchestrator import AttackCampaign, AttackRunReport
+from repro.attack.templating import TemplatorConfig
+from repro.core import MachineConfig
+from repro.dram.flipmodel import FlipModelConfig
+from repro.dram.geometry import DRAMGeometry
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.service import (
+    CampaignService,
+    Shard,
+    campaign_config_hash,
+    decode_line,
+    encode_record,
+    make_service_block,
+    merge_shards,
+    register_service_metrics,
+    scan_journal,
+)
+from repro.sim.errors import CheckpointError, ConfigError, WorkerLostError
+from repro.sim.units import MIB
+
+FAST = ExplFrameConfig(
+    templator=TemplatorConfig(buffer_bytes=4 * MIB, rounds=650_000, batch_pairs=8)
+)
+
+
+def vulnerable_config(seed=7):
+    return MachineConfig(
+        seed=seed,
+        geometry=DRAMGeometry.small(),
+        flip_model=FlipModelConfig.highly_vulnerable(),
+        timed_core="events",
+    )
+
+
+def make_campaign(attempts=4, seed=7, **kwargs):
+    return AttackCampaign(
+        vulnerable_config(seed), attempts, attack_config=FAST, **kwargs
+    )
+
+
+# -- sharding ----------------------------------------------------------------------
+
+
+class TestShard:
+    def test_parse_round_trips_spec_and_tag(self):
+        shard = Shard.parse("2/4")
+        assert (shard.index, shard.count) == (2, 4)
+        assert shard.spec == "2/4"
+        assert shard.tag == "2of4"
+
+    def test_default_shard_owns_everything(self):
+        assert list(Shard().indices(5)) == [0, 1, 2, 3, 4]
+
+    def test_interleaved_indices_tile_the_campaign(self):
+        attempts = 10
+        tiles = [list(Shard(i, 3).indices(attempts)) for i in range(3)]
+        assert tiles[0] == [0, 3, 6, 9]
+        assert tiles[1] == [1, 4, 7]
+        assert sorted(index for tile in tiles for index in tile) == list(
+            range(attempts)
+        )
+
+    @pytest.mark.parametrize("spec", ["", "3", "a/b", "1/0", "2/2", "-1/2"])
+    def test_bad_specs_are_config_errors(self, spec):
+        with pytest.raises(ConfigError):
+            Shard.parse(spec)
+
+
+class TestConfigHash:
+    def test_stable_across_equal_campaigns(self):
+        assert campaign_config_hash(make_campaign()) == campaign_config_hash(
+            make_campaign()
+        )
+
+    def test_result_knobs_change_the_hash(self):
+        base = campaign_config_hash(make_campaign())
+        assert campaign_config_hash(make_campaign(seed=8)) != base
+        assert campaign_config_hash(make_campaign(attempts=5)) != base
+        assert campaign_config_hash(make_campaign(chaos_profile="steal")) != base
+
+    def test_engine_knobs_do_not_change_the_hash(self):
+        base = campaign_config_hash(make_campaign())
+        assert campaign_config_hash(make_campaign(workers=4)) == base
+        assert campaign_config_hash(make_campaign(pool_mode="rewarm")) == base
+
+
+# -- journal framing ---------------------------------------------------------------
+
+
+class TestJournalFraming:
+    def test_encode_decode_round_trip(self):
+        record = {"index": 3, "report": {"success": True}, "state": {}}
+        assert decode_line(encode_record(record)) == record
+
+    def test_length_mismatch_is_rejected(self):
+        line = encode_record({"index": 0})
+        assert decode_line(line[:-5] + b"\n") is None
+
+    def test_crc_mismatch_is_rejected(self):
+        payload = json.dumps({"index": 0}).encode()
+        bad = b"%d %08x %s\n" % (len(payload), zlib.crc32(payload) ^ 1, payload)
+        assert decode_line(bad) is None
+
+    def test_garbage_line_is_rejected(self):
+        assert decode_line(b"not a journal line\n") is None
+
+    def test_scan_maps_indices_to_offsets(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        lines = [encode_record({"index": i}) for i in (0, 2, 4)]
+        path.write_bytes(b"".join(lines))
+        offsets, valid_end, torn = scan_journal(path)
+        assert sorted(offsets) == [0, 2, 4]
+        assert offsets[2] == len(lines[0])
+        assert valid_end == sum(len(line) for line in lines)
+        assert torn == 0
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        good = encode_record({"index": 0})
+        path.write_bytes(good + encode_record({"index": 1})[:-7])
+        offsets, valid_end, torn = scan_journal(path)
+        assert sorted(offsets) == [0]
+        assert valid_end == len(good)
+        assert torn == 1
+
+    def test_valid_record_after_corruption_is_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_bytes(
+            encode_record({"index": 0})
+            + b"corrupted mid-file line\n"
+            + encode_record({"index": 2})
+        )
+        with pytest.raises(CheckpointError, match="damaged beyond a torn tail"):
+            scan_journal(path)
+
+
+# -- telemetry ---------------------------------------------------------------------
+
+
+class TestServiceTelemetry:
+    def test_register_service_metrics_covers_the_documented_family(self):
+        registry = MetricsRegistry(enabled=True)
+        register_service_metrics(registry)
+        names = set(registry.snapshot())
+        assert names == {
+            "campaign.service.attempts_journaled",
+            "campaign.service.attempts_resumed",
+            "campaign.service.torn_records_dropped",
+            "campaign.service.worker_retries",
+            "campaign.service.workers_lost",
+            "campaign.service.journal_bytes",
+            "campaign.service.inflight_window",
+            "campaign.service.shard_attempts",
+        }
+
+    def test_make_service_block_shape(self):
+        block = make_service_block(
+            journaled=3, resumed=1, torn=1, worker_retries=2, workers_lost=1,
+            journal_bytes=4096, window=4, shard_attempts=4,
+        )
+        assert block["campaign.service.attempts_journaled"] == 3
+        assert block["campaign.service.attempts_resumed"] == 1
+        assert block["campaign.service.torn_records_dropped"] == 1
+        assert block["campaign.service.worker_retries"] == 2
+        assert block["campaign.service.workers_lost"] == 1
+        assert block["campaign.service.journal_bytes"] == 4096
+        assert block["campaign.service.inflight_window"] == 4
+        assert block["campaign.service.shard_attempts"] == 4
+
+
+# -- construction validation -------------------------------------------------------
+
+
+class TestServiceValidation:
+    def test_negative_window_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="window"):
+            CampaignService(make_campaign(), tmp_path, window=-1)
+
+    def test_negative_retry_budget_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="worker_retries"):
+            CampaignService(make_campaign(), tmp_path, worker_retries=-1)
+
+    def test_merge_of_empty_directory_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no shard manifests"):
+            merge_shards(tmp_path)
+
+
+# -- worker death plumbing ---------------------------------------------------------
+
+
+class CrashingCampaign(AttackCampaign):
+    """Campaign whose attempt ``crash_index`` kills its own worker process.
+
+    The fuse file arms exactly one crash: the worker unlinks it and then
+    dies with ``os._exit`` (no exception, no cleanup — indistinguishable
+    from an OOM kill), so a retry of the same attempt runs normally.
+    Only meaningful with ``workers > 1``; crashing the serial path would
+    take the test down with it.
+    """
+
+    def __init__(self, *args, fuse_path=None, crash_index=1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fuse_path = str(fuse_path)
+        self.crash_index = crash_index
+
+    def _run_attempt(self, machine, attack, candidates, index):
+        if index == self.crash_index and os.path.exists(self.fuse_path):
+            os.unlink(self.fuse_path)
+            os._exit(42)
+        return super()._run_attempt(machine, attack, candidates, index)
+
+
+@pytest.mark.slow
+class TestWorkerLoss:
+    def test_pool_surfaces_worker_death_as_typed_error(self, tmp_path):
+        fuse = tmp_path / "fuse"
+        fuse.touch()
+        campaign = CrashingCampaign(
+            vulnerable_config(), 2, attack_config=FAST,
+            workers=2, fuse_path=fuse, crash_index=1,
+        )
+        with pytest.raises(WorkerLostError) as excinfo:
+            campaign.run()
+        assert excinfo.value.attempt is not None
+
+    def test_service_retries_the_lost_attempt_to_the_exact_digest(self, tmp_path):
+        reference = make_campaign(attempts=3).run().digest()
+        fuse = tmp_path / "fuse"
+        fuse.touch()
+        campaign = CrashingCampaign(
+            vulnerable_config(), 3, attack_config=FAST,
+            workers=2, fuse_path=fuse, crash_index=1,
+        )
+        result = CampaignService(
+            campaign, tmp_path / "ckpt", worker_retries=2
+        ).run()
+        assert result.digest() == reference
+        assert result.service["campaign.service.workers_lost"] >= 1
+        assert result.service["campaign.service.worker_retries"] >= 1
+        assert not fuse.exists()
+
+    def test_exhausted_retry_budget_raises_with_journal_intact(self, tmp_path):
+        # A fuse that re-arms forever: crash_index dies on every try —
+        # but slowly, so attempt 0's result lands (and is journaled)
+        # before the pool breaks.
+        fuse = tmp_path / "fuse"
+        fuse.touch()
+
+        class AlwaysCrashing(CrashingCampaign):
+            def _run_attempt(self, machine, attack, candidates, index):
+                if index == self.crash_index:
+                    time.sleep(3)
+                    os._exit(42)
+                return AttackCampaign._run_attempt(
+                    self, machine, attack, candidates, index
+                )
+
+        campaign = AlwaysCrashing(
+            vulnerable_config(), 2, attack_config=FAST,
+            workers=2, fuse_path=fuse, crash_index=1,
+        )
+        service = CampaignService(campaign, tmp_path / "ckpt", worker_retries=1)
+        with pytest.raises(WorkerLostError, match="giving up"):
+            service.run()
+        # Attempt 0's record survived the failed run and resumes cleanly.
+        offsets, _end, torn = scan_journal(service.journal_path)
+        assert torn == 0
+        assert 0 in offsets
+
+
+# -- end-to-end parity -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """One in-memory 4-attempt run shared by every parity test below."""
+    result = make_campaign(attempts=4).run()
+    return {
+        "digest": result.digest(),
+        "metrics": result.metrics,
+        "successes": result.successes,
+    }
+
+
+@pytest.mark.slow
+class TestServiceParity:
+    def test_fresh_run_matches_in_memory_digest_and_metrics(
+        self, tmp_path, reference
+    ):
+        result = CampaignService(make_campaign(attempts=4), tmp_path).run()
+        assert result.digest() == reference["digest"]
+        assert result.metrics == reference["metrics"]
+        assert result.attempts == 4
+        assert result.successes == reference["successes"]
+        assert result.reports == ()  # streaming: reports live in the journal
+        assert result.service["campaign.service.attempts_journaled"] == 4
+        assert result.service["campaign.service.attempts_resumed"] == 0
+
+    def test_existing_checkpoint_without_resume_is_refused(self, tmp_path):
+        CampaignService(make_campaign(attempts=4), tmp_path).run()
+        with pytest.raises(CheckpointError, match="resume"):
+            CampaignService(make_campaign(attempts=4), tmp_path).run()
+
+    def test_resume_of_a_complete_run_reruns_nothing(self, tmp_path, reference):
+        CampaignService(make_campaign(attempts=4), tmp_path).run()
+        result = CampaignService(
+            make_campaign(attempts=4), tmp_path, resume=True
+        ).run()
+        assert result.digest() == reference["digest"]
+        assert result.metrics == reference["metrics"]
+        assert result.service["campaign.service.attempts_journaled"] == 0
+        assert result.service["campaign.service.attempts_resumed"] == 4
+
+    def test_torn_tail_is_truncated_and_rerun_to_the_same_digest(
+        self, tmp_path, reference
+    ):
+        service = CampaignService(make_campaign(attempts=4), tmp_path)
+        service.run()
+        # Tear the final record mid-payload, as a kill -9 during the
+        # append would, and mark the manifest as still running.
+        journal = service.journal_path
+        journal.write_bytes(journal.read_bytes()[:-20])
+        manifest = json.loads(service.manifest_path.read_text())
+        manifest.update(completed=3, status="running", digest=None)
+        service.manifest_path.write_text(json.dumps(manifest))
+
+        resumed = CampaignService(
+            make_campaign(attempts=4), tmp_path, resume=True
+        ).run()
+        assert resumed.digest() == reference["digest"]
+        assert resumed.metrics == reference["metrics"]
+        assert resumed.service["campaign.service.torn_records_dropped"] == 1
+        assert resumed.service["campaign.service.attempts_resumed"] == 3
+        assert resumed.service["campaign.service.attempts_journaled"] == 1
+
+    def test_config_hash_mismatch_refuses_to_mix_results(self, tmp_path):
+        CampaignService(make_campaign(attempts=4), tmp_path).run()
+        with pytest.raises(CheckpointError, match="different campaign config"):
+            CampaignService(
+                make_campaign(attempts=4, seed=8), tmp_path, resume=True
+            ).run()
+
+    def test_journal_reports_round_trip_through_from_dict(self, tmp_path):
+        service = CampaignService(make_campaign(attempts=2), tmp_path)
+        service.run()
+        offsets, _end, _torn = scan_journal(service.journal_path)
+        with open(service.journal_path, "rb") as fh:
+            for offset in offsets.values():
+                fh.seek(offset)
+                record = decode_line(fh.readline())
+                rebuilt = AttackRunReport.from_dict(record["report"])
+                assert rebuilt.to_json() == json.dumps(
+                    record["report"], sort_keys=True, separators=(",", ":")
+                )
+
+    def test_stream_out_carries_every_report_as_json_lines(self, tmp_path):
+        stream = tmp_path / "stream.jsonl"
+        CampaignService(
+            make_campaign(attempts=2), tmp_path / "ckpt", stream_out=stream
+        ).run()
+        lines = [json.loads(line) for line in stream.read_text().splitlines()]
+        assert sorted(line["index"] for line in lines) == [0, 1]
+        assert all("report" in line for line in lines)
+
+
+@pytest.mark.slow
+class TestShardMergeParity:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_merge_reproduces_the_serial_digest(
+        self, tmp_path, reference, shards
+    ):
+        for index in range(shards):
+            CampaignService(
+                make_campaign(attempts=4), tmp_path, shard=Shard(index, shards)
+            ).run()
+        merged = merge_shards(tmp_path, campaign=make_campaign(attempts=4))
+        assert merged.digest() == reference["digest"]
+        assert merged.metrics == reference["metrics"]
+        assert merged.attempts == 4
+        assert merged.successes == reference["successes"]
+
+    def test_missing_shard_blocks_the_merge(self, tmp_path):
+        CampaignService(
+            make_campaign(attempts=4), tmp_path, shard=Shard(0, 2)
+        ).run()
+        with pytest.raises(CheckpointError, match="missing shards"):
+            merge_shards(tmp_path)
+
+
+# -- the real CLI under kill -9 ----------------------------------------------------
+
+
+@pytest.mark.slow
+class TestKillResumeSmoke:
+    def test_sigkilled_chaos_campaign_resumes_to_the_exact_digest(self, tmp_path):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).parent.parent / "scripts" / "service_smoke.py"),
+                "kill-resume", "--dir", str(tmp_path), "--attempts", "4",
+            ],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
