@@ -8,6 +8,10 @@ the full AES-128 master key falls out.  No DRAM simulation involved —
 this shows the cryptanalysis on its own.
 
 Run:  python examples/aes_pfa_attack.py
+
+CLI equivalent:  python -m repro pfa --cipher aes --fault-index 118 --bit 3
+(same offline recovery; --key picks the key, --cipher present swaps the
+target cipher)
 """
 
 import math

@@ -12,6 +12,10 @@ Runs the same attack against machines differing in exactly one defence:
                       side channel rather than the fault mechanism.
 
 Run:  python examples/defense_evaluation.py   (takes a few minutes)
+
+CLI equivalent:  none single-flag; the pieces compose as
+`python -m repro attack --campaign 8 --fork-from-template --workers 4`
+per machine variant (defence knobs live in MachineConfig, not CLI flags)
 """
 
 from repro import ExplFrameAttack, ExplFrameConfig, Machine, MachineConfig, TemplatorConfig

@@ -7,6 +7,10 @@ re-hammer -> persistent fault analysis) against an AES-128 victim, and
 prints the recovered key next to the truth.
 
 Run:  python examples/quickstart.py
+
+CLI equivalent:  python -m repro attack --seed 7
+(add --json for the machine-readable report, --campaign N for repeated
+attempts, --scenario duet for a multi-tenant victim — docs/SCENARIOS.md)
 """
 
 from repro import ExplFrameAttack, ExplFrameConfig, Machine, MachineConfig, TemplatorConfig

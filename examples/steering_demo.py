@@ -8,6 +8,12 @@ modes the paper warns about (different CPU, sleeping attacker, interposed
 noise).
 
 Run:  python examples/steering_demo.py
+
+CLI equivalent:  python -m repro steer --trials 50
+(success-rate trials over the same protocol; --cross-cpu / --sleep /
+--noise N reproduce the three failure modes, and
+`python -m repro attack --scenario duet` runs steering against live
+multi-tenant noise — docs/SCENARIOS.md)
 """
 
 from repro import Machine, MachineConfig

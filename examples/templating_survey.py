@@ -9,6 +9,9 @@ two negative controls: hammering without clflush (cache absorbs it) and
 hammering cross-bank pairs (row buffer absorbs it).
 
 Run:  python examples/templating_survey.py
+
+CLI equivalent:  python -m repro template --buffer-mib 8 --show 5
+(--density scales weak cells per row)
 """
 
 from collections import Counter

@@ -38,6 +38,7 @@ from repro.parallel.pool import register_pool_metrics  # noqa: E402
 from repro.parallel.service import register_service_metrics  # noqa: E402
 from repro.sim.chaos import ChaosEngine, chaos_profile  # noqa: E402
 from repro.sim.units import MIB  # noqa: E402
+from repro.workload import WorkloadEngine, scenario_preset  # noqa: E402
 
 # Backticked dotted names in doc table rows ("| `dram.flips` | ...").
 _DOC_NAME = re.compile(r"^\|\s*`([a-z_][a-z0-9_.]+)`\s*\|", re.MULTILINE)
@@ -63,6 +64,9 @@ def registered_families() -> set[str]:
     # cross-check covers them.
     register_pool_metrics(machine.obs.metrics)
     register_service_metrics(machine.obs.metrics)
+    # The workload.tenant.* family registers when a scenario's engine
+    # binds; the duet preset covers every instrument in the family.
+    WorkloadEngine(machine, scenario_preset("duet")).start()
     # Drive past one scheduler tick so lazily-created per-queue families
     # (sim.events.dispatched{queue=...}) register.
     machine.run_until(machine.scheduler.TIMESLICE_NS)

@@ -101,10 +101,30 @@ class ExplFrameAttack:
         machine: Machine,
         key: bytes | None = None,
         config: ExplFrameConfig | None = None,
+        tenant_workload=None,
     ):
         self.machine = machine
         self.kernel = machine.kernel
         self.config = config or ExplFrameConfig()
+        self.tenant_workload = tenant_workload
+        if tenant_workload is not None:
+            if key is not None:
+                raise ConfigError(
+                    "pass either an explicit key or a tenant workload, not both "
+                    "(the target tenant's key is the ground truth)"
+                )
+            spec = tenant_workload.scenario.target_spec
+            if spec.cipher != self.config.cipher:
+                raise ConfigError(
+                    f"attack cipher {self.config.cipher!r} does not match the "
+                    f"target tenant's {spec.cipher!r}"
+                )
+            if spec.cpu is not None and spec.cpu != self.config.cpu:
+                raise ConfigError(
+                    f"attack cpu {self.config.cpu} does not match the target "
+                    f"tenant's pinned cpu {spec.cpu}"
+                )
+            key = tenant_workload.target_key
         rng = machine.rng.stream("victim.key")
         key_bytes = 10 if self.config.cipher == "present" else 16
         self.true_key = (
@@ -122,6 +142,8 @@ class ExplFrameAttack:
     def bind_obs(self, obs) -> None:
         """Attach an observability hub (re-run on machine fork)."""
         self.obs = obs
+        if self.tenant_workload is not None:
+            self.tenant_workload.bind_obs(obs)
         metrics = obs.metrics
         self._m_campaigns = metrics.counter(
             "attack.template.campaigns", unit="campaigns",
@@ -255,7 +277,15 @@ class ExplFrameAttack:
         For single-table victims the flippy frame must be the *next*
         allocation; for the T-table victim it must be the *second*, so a
         sacrificial frame is staged on top of it.
+
+        With a tenant workload attached, the victim's allocation happens
+        at the target tenant's *next request arrival* rather than
+        immediately: the attacker stages the frames and must survive the
+        window until the target wakes, while background tenants churn the
+        shared page frame cache.  The new victim then replaces the
+        target's previous incarnation so tenant traffic exercises it.
         """
+        workload = self.tenant_workload
         with self.obs.tracer.span("attack.steer", "attack") as span:
             victim = CipherVictim(
                 self.kernel,
@@ -263,6 +293,7 @@ class ExplFrameAttack:
                 cpu=self.config.cpu,
                 cipher=self.config.cipher,
                 table_offset=self.config.table_offset,
+                name="victim" if workload is None else f"tenant-{workload.scenario.target}",
             )
             staged_pfn = self.kernel.pfn_of(self.attacker.pid, template.page_va)
             if self.config.cipher == "aes_ttable":
@@ -271,10 +302,18 @@ class ExplFrameAttack:
                 self.kernel.sys_munmap(self.attacker.pid, sacrificial_va, PAGE_SIZE)
             else:
                 self.kernel.sys_munmap(self.attacker.pid, template.page_va, PAGE_SIZE)
+            if workload is not None:
+                # Ride out the steering window: noisy neighbours run until
+                # just before the target's next request is due.
+                window_end = workload.await_target_window()
+                span.set("tenant", workload.scenario.target)
+                span.set("window_end_ns", window_end)
             # The attacker stays active; the victim's small allocations come
             # straight off the shared CPU's page frame cache in LIFO order.
             landed_pfn = victim.allocate_table_page()
             steering_success = landed_pfn == staged_pfn
+            if workload is not None:
+                workload.attach_target(victim)
             span.set("staged_pfn", staged_pfn)
             span.set("success", steering_success)
         self._m_steer_attempts.inc()

@@ -231,6 +231,12 @@ class AttackRunReport:
     candidates_tried: int
     recoveries: tuple[str, ...]
     faulty_ciphertexts: int
+    # Scenario runs only (repro.workload): which tenant the attack
+    # targeted and how many noisy neighbours shared the machine.  Kept
+    # out of the serialized form when unset so pre-scenario reports (and
+    # their checked-in campaign digests) are byte-identical.
+    target_tenant: str | None = None
+    background_tenants: int = 0
 
     @property
     def failure_classes(self) -> list[str]:
@@ -262,7 +268,7 @@ class AttackRunReport:
         return totals
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "stage_sim_time_ns": self.stage_sim_time_ns,
             "seed": self.seed,
             "chaos_profile": self.chaos_profile,
@@ -280,6 +286,10 @@ class AttackRunReport:
             "recoveries": list(self.recoveries),
             "faulty_ciphertexts": self.faulty_ciphertexts,
         }
+        if self.target_tenant is not None:
+            out["target_tenant"] = self.target_tenant
+            out["background_tenants"] = self.background_tenants
+        return out
 
     def to_json(self) -> str:
         """Canonical JSON form (sorted keys, compact separators)."""
@@ -318,6 +328,8 @@ class AttackRunReport:
             candidates_tried=data["candidates_tried"],
             recoveries=tuple(data["recoveries"]),
             faulty_ciphertexts=data["faulty_ciphertexts"],
+            target_tenant=data.get("target_tenant"),
+            background_tenants=data.get("background_tenants", 0),
         )
 
 
@@ -656,6 +668,7 @@ class AttackOrchestrator:
             final_failure = self._failures[-1]
 
         chaos = self.kernel.chaos
+        workload = getattr(attack, "tenant_workload", None)
         return AttackRunReport(
             seed=attack.machine.rng.master_seed,
             chaos_profile="none" if chaos is None else chaos.plan.name,
@@ -678,6 +691,8 @@ class AttackOrchestrator:
             candidates_tried=candidates_tried,
             recoveries=tuple(self._recoveries),
             faulty_ciphertexts=consumed_total,
+            target_tenant=None if workload is None else workload.scenario.target,
+            background_tenants=0 if workload is None else workload.background_count,
         )
 
 
@@ -806,6 +821,7 @@ class AttackCampaign:
         chaos_intensity: float = 1.0,
         workers: int = 1,
         pool_mode: str = "ship",
+        scenario=None,
     ):
         if attempts <= 0:
             raise ConfigError(f"attempts must be positive, got {attempts}")
@@ -824,6 +840,17 @@ class AttackCampaign:
         self.chaos_intensity = chaos_intensity
         self.workers = workers
         self.pool_mode = pool_mode
+        # A repro.workload Scenario (or None): attempts run against a
+        # multi-tenant machine, steering at the target tenant amid
+        # background traffic.  Plain frozen data — it pickles to workers,
+        # journals through checkpoints and pins the config hash.
+        self.scenario = scenario
+        if scenario is not None and scenario.target_spec.cipher != self.attack_config.cipher:
+            raise ConfigError(
+                f"attack cipher {self.attack_config.cipher!r} does not match "
+                f"scenario {scenario.name!r}'s target tenant "
+                f"({scenario.target_spec.cipher!r})"
+            )
 
     @property
     def mode(self) -> str:
@@ -838,7 +865,15 @@ class AttackCampaign:
         from repro.core.machine import Machine
 
         machine = Machine(self.base_config)
-        attack = ExplFrameAttack(machine, config=self.attack_config)
+        workload = None
+        if self.scenario is not None:
+            from repro.workload import WorkloadEngine
+
+            workload = WorkloadEngine(machine, self.scenario)
+            workload.start()
+        attack = ExplFrameAttack(
+            machine, config=self.attack_config, tenant_workload=workload
+        )
         candidates = tuple(
             attack.template_until_usable(self.orchestrator_config.campaign_budget)
         )

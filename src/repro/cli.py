@@ -74,6 +74,40 @@ def _vulnerable_machine(seed: int, density: float):
     return Machine(_vulnerable_config(seed, density))
 
 
+def _load_scenario_arg(args):
+    """``--scenario`` resolved to a Scenario, or None when not given."""
+    if getattr(args, "scenario", None) is None:
+        return None
+    from repro.workload import load_scenario
+
+    return load_scenario(args.scenario)
+
+
+def _scenario_attack_knobs(args, scenario) -> tuple[str, int]:
+    """(cipher, cpu) for the attack config; the scenario's target wins."""
+    if scenario is None:
+        return args.cipher, 0
+    spec = scenario.target_spec
+    return spec.cipher, 0 if spec.cpu is None else spec.cpu
+
+
+def _print_workload(workload) -> None:
+    """Per-tenant traffic lines for text-mode attack output."""
+    if workload is None:
+        return
+    scenario = workload.scenario
+    print(
+        f"scenario:             {scenario.name} (target {scenario.target}, "
+        f"{workload.background_count} background tenant(s))"
+    )
+    for name, row in sorted(workload.summary().items()):
+        print(
+            f"  {name:<12} {row['role']:<6} {row['cipher']}-{row['key_bits']} "
+            f"@{row['rate_hz']:g} Hz  issued={row['issued']} "
+            f"served={row['served']} dropped={row['dropped']}"
+        )
+
+
 def cmd_attack(args: argparse.Namespace) -> int:
     """Run the full ExplFrame chain; exit code 0 iff the key was recovered.
 
@@ -93,8 +127,9 @@ def cmd_attack(args: argparse.Namespace) -> int:
     from repro.sim.chaos import ChaosEngine, chaos_profile
     from repro.sim.units import SECOND
 
+    scenario = _load_scenario_arg(args)
     if args.campaign:
-        return _cmd_attack_campaign(args)
+        return _cmd_attack_campaign(args, scenario)
 
     machine = _vulnerable_machine(args.seed, args.density)
     if args.trace:
@@ -105,14 +140,22 @@ def cmd_attack(args: argparse.Namespace) -> int:
     # simulation is bit-identical to an engine-less run).
     if args.chaos != "none" or args.trace:
         ChaosEngine(machine.kernel, chaos_profile(args.chaos, args.chaos_intensity))
+    cipher, cpu = _scenario_attack_knobs(args, scenario)
     config = ExplFrameConfig(
-        cipher=args.cipher,
+        cipher=cipher,
+        cpu=cpu,
         templator=TemplatorConfig(
             buffer_bytes=args.buffer_mib * MIB, batch_pairs=16
         ),
         max_campaigns=args.campaigns,
     )
-    attack = ExplFrameAttack(machine, config=config)
+    workload = None
+    if scenario is not None:
+        from repro.workload import WorkloadEngine
+
+        workload = WorkloadEngine(machine, scenario)
+        workload.start()
+    attack = ExplFrameAttack(machine, config=config, tenant_workload=workload)
 
     # --json reports the orchestrator's AttackRunReport, so it implies
     # orchestration (like --chaos); --single-shot still wins.
@@ -137,6 +180,8 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
             payload = report.to_dict()
             payload["metrics"] = machine.obs.metrics.snapshot()
+            if workload is not None:
+                payload["workload"] = workload.summary()
             _emit_observability(machine, args, json_mode=True)
             print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
             return 0 if report.success else 1
@@ -160,6 +205,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
             f"{spend.deadline_ns / 1e9:.0f} s, {spend.campaigns} campaigns of "
             f"{spend.campaign_budget}"
         )
+        _print_workload(workload)
         print(f"true key:             {report.true_key}")
         print(f"recovered key:        {report.recovered_key or '-'}")
         print(f"KEY RECOVERED:        {report.success}")
@@ -167,6 +213,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         return 0 if report.success else 1
 
     result = attack.run()
+    _print_workload(workload)
     print(f"flips templated:      {result.templated_flips}")
     print(f"steering succeeded:   {result.steering_success}")
     print(f"table faulted:        {result.fault_in_table}")
@@ -181,7 +228,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0 if result.key_recovered else 1
 
 
-def _cmd_attack_campaign(args: argparse.Namespace) -> int:
+def _cmd_attack_campaign(args: argparse.Namespace, scenario=None) -> int:
     """Run ``--campaign N`` orchestrated attempts; exit 0 iff all succeed.
 
     With ``--fork-from-template`` the machine is built and templated once
@@ -204,11 +251,13 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
     from repro.sim.errors import ConfigError
     from repro.sim.units import SECOND
 
+    cipher, cpu = _scenario_attack_knobs(args, scenario)
     campaign = AttackCampaign(
         _vulnerable_config(args.seed, args.density),
         args.campaign,
         attack_config=ExplFrameConfig(
-            cipher=args.cipher,
+            cipher=cipher,
+            cpu=cpu,
             templator=TemplatorConfig(
                 buffer_bytes=args.buffer_mib * MIB, batch_pairs=16
             ),
@@ -222,6 +271,7 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
         chaos_intensity=args.chaos_intensity,
         workers=args.workers,
         pool_mode=args.pool_mode,
+        scenario=scenario,
     )
     if args.checkpoint is None:
         for flag, name in (
@@ -253,6 +303,11 @@ def _cmd_attack_campaign(args: argparse.Namespace) -> int:
 
         print(json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":")))
         return 0 if result.successes == result.attempts else 1
+    if scenario is not None:
+        print(
+            f"scenario:             {scenario.name} (target {scenario.target}, "
+            f"{len(scenario.tenants) - 1} background tenant(s))"
+        )
     print(f"campaign mode:        {result.mode}")
     print(f"attempts:             {result.attempts}")
     print(f"successes:            {result.successes}")
@@ -428,6 +483,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(attack)
     attack.add_argument(
         "--cipher", choices=["aes", "aes_ttable", "present"], default="aes"
+    )
+    attack.add_argument(
+        "--scenario",
+        metavar="NAME|FILE",
+        default=None,
+        help="run against a multi-tenant victim workload: a preset name "
+        "(single, duet, apartment-8) or a scenario JSON file "
+        "(docs/SCENARIOS.md); the target tenant's cipher and CPU override "
+        "--cipher",
     )
     attack.add_argument("--buffer-mib", type=int, default=8)
     attack.add_argument("--density", type=float, default=3.0, help="weak cells per row")

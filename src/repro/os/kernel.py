@@ -160,6 +160,9 @@ class Kernel:
             if self.events is not None:
                 self.events.dispatch_due("os")
                 self.events.dispatch_due("defense")
+                # Tenant request streams (repro.workload) ride the same
+                # pump: a no-op until a scenario schedules on the queue.
+                self.events.dispatch_due("workload")
             self.bus.publish(
                 TOPIC_SYSCALL, SyscallHook(hook=hook, pid=pid, time_ns=self.clock.now_ns)
             )

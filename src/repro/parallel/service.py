@@ -138,7 +138,7 @@ def campaign_config_hash(campaign) -> str:
     campaign checkpointed on 4 workers may resume on 1, or sharded
     differently, without tripping the mismatch check.
     """
-    description = repr((
+    knobs = [
         campaign.base_config,
         campaign.attempts,
         campaign.attack_config,
@@ -146,7 +146,14 @@ def campaign_config_hash(campaign) -> str:
         campaign.fork_from_template,
         campaign.chaos_profile,
         campaign.chaos_intensity,
-    ))
+    ]
+    # Appended only when set, so pre-scenario checkpoints keep their
+    # hashes; a scenario campaign can never resume a non-scenario one
+    # (or a different tenant mix) by accident.
+    scenario = getattr(campaign, "scenario", None)
+    if scenario is not None:
+        knobs.append(scenario)
+    description = repr(tuple(knobs))
     return hashlib.sha256(description.encode("utf-8")).hexdigest()
 
 

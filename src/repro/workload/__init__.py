@@ -1,0 +1,26 @@
+"""Multi-tenant victim traffic: scenarios and the engine that drives them.
+
+The paper's lab setting drives one victim with explicit ``encrypt()``
+calls inside the attack loop.  This package models the ROADMAP's server
+setting instead: N tenant processes with independent, seeded request
+streams encrypt on a shared machine while the attacker steers page-frame
+reuse against one of them.  See docs/SCENARIOS.md for the contract.
+"""
+
+from repro.workload.engine import WorkloadEngine
+from repro.workload.scenario import (
+    PRESET_NAMES,
+    Scenario,
+    TenantSpec,
+    load_scenario,
+    scenario_preset,
+)
+
+__all__ = [
+    "PRESET_NAMES",
+    "Scenario",
+    "TenantSpec",
+    "WorkloadEngine",
+    "load_scenario",
+    "scenario_preset",
+]

@@ -122,6 +122,60 @@ class TestAttackCommand:
         assert "KEY RECOVERED:        False" in capsys.readouterr().out
 
 
+class TestScenarioOption:
+    FAST = ["--buffer-mib", "4"]
+
+    def test_unknown_preset_exits_two(self, capsys):
+        assert main(["attack", "--scenario", "nope", *self.FAST]) == 2
+        err = capsys.readouterr().err
+        assert "single" in err and "duet" in err and "apartment-8" in err
+
+    def test_malformed_json_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "target":')
+        assert main(["attack", "--scenario", str(bad), *self.FAST]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_knob_in_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "name": "x",
+                    "target": "a",
+                    "tenants": [{"name": "a", "rate_hz": 40.0}],
+                }
+            )
+        )
+        assert main(["attack", "--scenario", str(bad), *self.FAST]) == 2
+        assert "unknown tenant knob" in capsys.readouterr().err
+
+    def test_unrecoverable_target_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps(
+                {
+                    "name": "x",
+                    "target": "a",
+                    "tenants": [{"name": "a", "cipher": "aes", "key_bits": 256}],
+                }
+            )
+        )
+        assert main(["attack", "--scenario", str(bad), *self.FAST]) == 2
+        assert "PFA cannot recover" in capsys.readouterr().err
+
+    def test_duet_json_report_names_tenants(self, capsys):
+        code = main(
+            ["attack", "--seed", "3", "--scenario", "duet", "--json", *self.FAST]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["target_tenant"] == "alice"
+        assert report["background_tenants"] == 1
+        assert report["workload"]["bob"]["role"] == "noise"
+        assert report["workload"]["bob"]["served"] > 0
+
+
 class TestSteerCommand:
     def test_same_cpu(self, capsys):
         assert main(["steer", "--trials", "3", "--seed", "1"]) == 0

@@ -1,0 +1,214 @@
+"""Scenario contract: validation, round-trips, and the documented knobs.
+
+The knob spot-check parses the knob table out of docs/SCENARIOS.md and
+feeds every documented knob back through ``TenantSpec.from_dict`` — the
+doc and the loader cannot drift apart silently.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.sim.errors import ConfigError
+from repro.workload import (
+    PRESET_NAMES,
+    Scenario,
+    TenantSpec,
+    load_scenario,
+    scenario_preset,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+SCENARIOS_DOC = REPO / "docs" / "SCENARIOS.md"
+
+
+class TestTenantSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = TenantSpec(name="alice")
+        assert spec.cipher == "aes"
+        assert spec.resolved_key_bits == 128
+        assert spec.key_bytes == 16
+
+    @pytest.mark.parametrize(
+        "cipher,default_bits", [("aes", 128), ("aes_ttable", 128), ("present", 80)]
+    )
+    def test_cipher_default_key_bits(self, cipher, default_bits):
+        assert TenantSpec(name="t", cipher=cipher).resolved_key_bits == default_bits
+
+    @pytest.mark.parametrize("bits", [192, 256])
+    def test_aes_wide_keys_accepted(self, bits):
+        assert TenantSpec(name="t", cipher="aes", key_bits=bits).key_bytes == bits // 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"name": "no spaces"},
+            {"name": "t", "cipher": "des"},
+            {"name": "t", "cipher": "aes_ttable", "key_bits": 256},
+            {"name": "t", "cipher": "present", "key_bits": 128},
+            {"name": "t", "key_hex": "zz"},
+            {"name": "t", "key_hex": "00" * 8},  # 8 bytes for 128-bit AES
+            {"name": "t", "request_rate_hz": 0.0},
+            {"name": "t", "request_rate_hz": 2e6},
+            {"name": "t", "burst": 0},
+            {"name": "t", "jitter": 1.5},
+            {"name": "t", "cpu": -1},
+            {"name": "t", "scratch_pages": 65},
+            {"name": "t", "payload_blocks": 0},
+            {"name": "t", "max_queue": 0},
+        ],
+    )
+    def test_invalid_spec_raises(self, kwargs):
+        with pytest.raises(ConfigError):
+            TenantSpec(**kwargs)
+
+    def test_explicit_key_hex_resolves_verbatim(self):
+        key = "2b7e151628aed2a6abf7158809cf4f3c"
+        spec = TenantSpec(name="t", key_hex=key)
+        assert spec.resolve_key(rng=None) == bytes.fromhex(key)
+
+    def test_mean_interarrival(self):
+        assert TenantSpec(name="t", request_rate_hz=1000.0).mean_interarrival_ns == 10**6
+
+
+class TestScenarioValidation:
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            Scenario(
+                name="s",
+                target="a",
+                tenants=(TenantSpec(name="a"), TenantSpec(name="a")),
+            )
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigError, match="unknown tenant"):
+            Scenario(name="s", target="ghost", tenants=(TenantSpec(name="a"),))
+
+    def test_empty_tenant_list_rejected(self):
+        with pytest.raises(ConfigError, match="no tenants"):
+            Scenario(name="s", target="a", tenants=())
+
+    def test_unrecoverable_target_rejected(self):
+        # AES-256 encrypts fine as background noise, but PFA cannot
+        # invert its key schedule — targeting it must fail at load time.
+        with pytest.raises(ConfigError, match="PFA cannot recover"):
+            Scenario(
+                name="s",
+                target="a",
+                tenants=(TenantSpec(name="a", cipher="aes", key_bits=256),),
+            )
+
+    def test_sleeping_target_rejected(self):
+        with pytest.raises(ConfigError, match="sleeps"):
+            Scenario(
+                name="s", target="a", tenants=(TenantSpec(name="a", sleeps=True),)
+            )
+
+    def test_background_partition(self):
+        scenario = scenario_preset("duet")
+        assert scenario.target_spec.name == "alice"
+        assert [spec.name for spec in scenario.background] == ["bob"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", PRESET_NAMES)
+    def test_presets_round_trip_through_json(self, name):
+        scenario = scenario_preset(name)
+        again = Scenario.from_json(json.dumps(scenario.to_dict()))
+        assert again == scenario
+
+    def test_to_dict_omits_defaults(self):
+        data = TenantSpec(name="t").to_dict()
+        assert data == {"name": "t", "cipher": "aes"}
+
+    def test_unknown_tenant_knob_rejected(self):
+        with pytest.raises(ConfigError, match="unknown tenant knob"):
+            TenantSpec.from_dict({"name": "t", "rate_hz": 40.0})
+
+    def test_unknown_scenario_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario key"):
+            Scenario.from_dict(
+                {"name": "s", "target": "a", "tenants": [{"name": "a"}], "extra": 1}
+            )
+
+    @pytest.mark.parametrize("missing", ["name", "target", "tenants"])
+    def test_missing_top_level_key_rejected(self, missing):
+        data = {"name": "s", "target": "a", "tenants": [{"name": "a"}]}
+        del data[missing]
+        with pytest.raises(ConfigError, match="missing"):
+            Scenario.from_dict(data)
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            Scenario.from_json("{not json")
+
+
+class TestLoadScenario:
+    def test_preset_names_resolve(self):
+        for name in PRESET_NAMES:
+            assert load_scenario(name).name == name
+
+    def test_unknown_ref_lists_presets(self):
+        with pytest.raises(ConfigError) as exc:
+            load_scenario("nope")
+        for name in PRESET_NAMES:
+            assert name in str(exc.value)
+
+    def test_json_file_loads(self, tmp_path):
+        path = tmp_path / "mix.json"
+        path.write_text(json.dumps(scenario_preset("duet").to_dict()))
+        assert load_scenario(str(path)) == scenario_preset("duet")
+
+    def test_missing_json_file_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_scenario(str(tmp_path / "absent.json"))
+
+
+class TestDocumentedKnobs:
+    """Every knob the doc's table documents must be accepted by the loader."""
+
+    def _documented_knobs(self):
+        text = SCENARIOS_DOC.read_text(encoding="utf-8")
+        # Rows of the "## Tenant knobs" table: "| `knob` | type | default | ...".
+        section = text.split("## Tenant knobs", 1)[1].split("\n## ", 1)[0]
+        knobs = {}
+        for row in re.findall(r"^\| `(\w+)` \| ([^|]+) \|", section, re.MULTILINE):
+            knobs[row[0]] = row[1].strip()
+        return knobs
+
+    def test_doc_table_matches_dataclass_fields(self):
+        from dataclasses import fields
+
+        documented = set(self._documented_knobs())
+        actual = {f.name for f in fields(TenantSpec)}
+        assert documented == actual
+
+    def test_every_documented_knob_is_accepted(self):
+        sample = {
+            "name": "probe",
+            "cipher": "present",
+            "key_bits": 80,
+            "key_hex": "00112233445566778899",
+            "request_rate_hz": 12.5,
+            "burst": 2,
+            "jitter": 0.1,
+            "cpu": 0,
+            "scratch_pages": 3,
+            "payload_blocks": 4,
+            "max_queue": 16,
+            "sleeps": True,
+        }
+        assert set(sample) == set(self._documented_knobs()), (
+            "update this sample when the knob table changes"
+        )
+        spec = TenantSpec.from_dict(sample)
+        assert spec.request_rate_hz == 12.5
+        assert spec.sleeps is True
+
+    def test_documented_presets_exist(self):
+        text = SCENARIOS_DOC.read_text(encoding="utf-8")
+        for name in PRESET_NAMES:
+            assert f"`{name}`" in text
