@@ -27,6 +27,7 @@ DOC = REPO / "docs" / "OBSERVABILITY.md"
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig  # noqa: E402
+from repro.attack.faultprobe import FaultProbeAttack, FaultProbeConfig  # noqa: E402
 from repro.attack.orchestrator import (  # noqa: E402
     AttackOrchestrator,
     OrchestratorConfig,
@@ -70,7 +71,23 @@ def registered_families() -> set[str]:
     # Drive past one scheduler tick so lazily-created per-queue families
     # (sim.events.dispatched{queue=...}) register.
     machine.run_until(machine.scheduler.TIMESLICE_NS)
-    return set(machine.obs.metrics.family_names())
+    families = set(machine.obs.metrics.family_names())
+    # The attack.faultprobe.* family binds only when that modality is
+    # built; use a second machine so its shared attack.* instruments
+    # don't double-register on the first.
+    probe_machine = Machine(MachineConfig.small(seed=0))
+    FaultProbeAttack(
+        probe_machine,
+        config=FaultProbeConfig(
+            templator=TemplatorConfig(buffer_bytes=2 * MIB)
+        ),
+    )
+    families.update(
+        name
+        for name in probe_machine.obs.metrics.family_names()
+        if name.startswith("attack.faultprobe.")
+    )
+    return families
 
 
 def emitted_span_names() -> set[str]:

@@ -33,7 +33,7 @@ from pathlib import Path
 SRC = str(Path(__file__).resolve().parent.parent / "src")
 
 
-def _cli(extra, checkpoint, *, attempts, chaos):
+def _cli(extra, checkpoint, *, attempts, chaos, modality="explframe"):
     command = [
         sys.executable, "-m", "repro", "attack",
         "--seed", "7", "--buffer-mib", "4",
@@ -42,6 +42,8 @@ def _cli(extra, checkpoint, *, attempts, chaos):
     ]
     if chaos != "none":
         command += ["--chaos", chaos]
+    if modality != "explframe":
+        command += ["--modality", modality]
     return command + list(extra)
 
 
@@ -65,22 +67,27 @@ def _run_json(command):
     return json.loads(proc.stdout.splitlines()[-1])
 
 
-def _baseline(directory, *, attempts, chaos):
+def _baseline(directory, *, attempts, chaos, modality):
     """Uninterrupted service run in ``directory/base``; its digest."""
     payload = _run_json(
-        _cli([], directory / "base", attempts=attempts, chaos=chaos)
+        _cli([], directory / "base", attempts=attempts, chaos=chaos,
+             modality=modality)
     )
     return payload["digest"]
 
 
-def smoke_kill_resume(directory: Path, attempts: int, chaos: str) -> int:
-    reference = _baseline(directory, attempts=attempts, chaos=chaos)
+def smoke_kill_resume(
+    directory: Path, attempts: int, chaos: str, modality: str
+) -> int:
+    reference = _baseline(
+        directory, attempts=attempts, chaos=chaos, modality=modality
+    )
     print(f"uninterrupted digest: {reference}")
 
     kill_dir = directory / "kill"
     journal = kill_dir / "journal-0of1.jsonl"
     victim = subprocess.Popen(
-        _cli([], kill_dir, attempts=attempts, chaos=chaos),
+        _cli([], kill_dir, attempts=attempts, chaos=chaos, modality=modality),
         env=_environment(),
         stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
     )
@@ -99,7 +106,8 @@ def smoke_kill_resume(directory: Path, attempts: int, chaos: str) -> int:
     print(f"victim {'SIGKILLed mid-run' if killed else 'finished before the kill'}")
 
     payload = _run_json(
-        _cli(["--resume"], kill_dir, attempts=attempts, chaos=chaos)
+        _cli(["--resume"], kill_dir, attempts=attempts, chaos=chaos,
+             modality=modality)
     )
     digest = payload["digest"]
     service = payload["service"]
@@ -117,19 +125,24 @@ def smoke_kill_resume(directory: Path, attempts: int, chaos: str) -> int:
     return 0
 
 
-def smoke_shard(directory: Path, attempts: int, chaos: str, shards: int) -> int:
-    reference = _baseline(directory, attempts=attempts, chaos=chaos)
+def smoke_shard(
+    directory: Path, attempts: int, chaos: str, shards: int, modality: str
+) -> int:
+    reference = _baseline(
+        directory, attempts=attempts, chaos=chaos, modality=modality
+    )
     print(f"unsharded digest:     {reference}")
 
     shard_dir = directory / f"{shards}way"
     for index in range(shards):
         _run_json(_cli(
             ["--shard", f"{index}/{shards}"],
-            shard_dir, attempts=attempts, chaos=chaos,
+            shard_dir, attempts=attempts, chaos=chaos, modality=modality,
         ))
         print(f"shard {index}/{shards} complete")
     payload = _run_json(_cli(
         ["--merge-shards"], shard_dir, attempts=attempts, chaos=chaos,
+        modality=modality,
     ))
     digest = payload["digest"]
     print(f"merged digest:        {digest}")
@@ -148,11 +161,17 @@ def main(argv=None) -> int:
     parser.add_argument("--attempts", type=int, default=4)
     parser.add_argument("--chaos", default="steal")
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--modality", default="explframe",
+                        help="attack modality to drive (docs/ATTACKS.md)")
     args = parser.parse_args(argv)
     args.dir.mkdir(parents=True, exist_ok=True)
     if args.mode == "kill-resume":
-        return smoke_kill_resume(args.dir, args.attempts, args.chaos)
-    return smoke_shard(args.dir, args.attempts, args.chaos, args.shards)
+        return smoke_kill_resume(
+            args.dir, args.attempts, args.chaos, args.modality
+        )
+    return smoke_shard(
+        args.dir, args.attempts, args.chaos, args.shards, args.modality
+    )
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
-"""The ExplFrame attack (the paper's contribution) and its baselines.
+"""Attack modalities over the page-frame-cache primitive, and baselines.
 
-Pipeline, exactly as Sections V-VI describe:
+The shared front half, exactly as the paper's Sections V-VI describe:
 
 1. **Templating** (:mod:`repro.attack.templating`) — the unprivileged
    attacker mmaps a large buffer, finds same-bank aggressor pairs by
@@ -10,20 +10,34 @@ Pipeline, exactly as Sections V-VI describe:
    containing a useful flip; the frame lands on the hot end of her CPU's
    page frame cache; the co-resident victim's next small allocation
    receives it.
-3. **Re-hammer + fault analysis** (:mod:`repro.attack.explframe`) — she
-   hammers the *same virtual addresses* again, flipping the same physical
-   cell, which now holds the victim's S-box; persistent fault analysis of
-   the victim's ciphertexts recovers the key.
+
+What happens *after* a successful steer is the attack **modality**
+(:mod:`repro.attack.base` defines the contract, :mod:`repro.attack.registry`
+the name → modality map; docs/ATTACKS.md):
+
+* ``explframe`` (:mod:`repro.attack.explframe`) — re-hammer the steered
+  flip into the victim's S-box and recover the key by persistent fault
+  analysis of its ciphertexts (the paper's attack, and the default).
+* ``faultprobe`` (:mod:`repro.attack.faultprobe`) — read the secret bit
+  *under* the steered flip back from response discrepancies: the flip
+  only fires when the stored data arms it (FAULT+PROBE, PAPERS.md).
 
 :mod:`repro.attack.baselines` implements the comparison points: a
 privileged pagemap-guided attack (upper bound) and an unsteered random
-spray (lower bound).  :mod:`repro.attack.orchestrator` wraps the pipeline
-in a resilient state machine (retries, budgets, failure forensics) for
-runs under injected adversity.
+spray (lower bound).  :mod:`repro.attack.orchestrator` drives any
+modality's stage graph in a resilient state machine (retries, budgets,
+failure forensics) for runs under injected adversity.
 """
 
+from repro.attack.base import (
+    AttackModality,
+    ResolutionStage,
+    StageOutcome,
+    TargetVictim,
+)
 from repro.attack.baselines import PagemapAttack, RandomSprayAttack
 from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
+from repro.attack.faultprobe import FaultProbeAttack, FaultProbeConfig
 from repro.attack.hammer import Hammerer
 from repro.attack.orchestrator import (
     AttackCampaign,
@@ -35,25 +49,39 @@ from repro.attack.orchestrator import (
     RetryPolicy,
     StageFailure,
 )
+from repro.attack.registry import (
+    available_modalities,
+    get_modality,
+    register_modality,
+)
 from repro.attack.steering import SteeringProtocol, SteeringTrialConfig
 from repro.attack.templating import Templator, TemplatorConfig
 
 __all__ = [
     "AttackCampaign",
+    "AttackModality",
     "AttackOrchestrator",
     "AttackRunReport",
     "CampaignResult",
     "ExplFrameAttack",
     "ExplFrameConfig",
     "FailureClass",
+    "FaultProbeAttack",
+    "FaultProbeConfig",
     "Hammerer",
     "OrchestratorConfig",
     "PagemapAttack",
     "RandomSprayAttack",
+    "ResolutionStage",
     "RetryPolicy",
     "StageFailure",
+    "StageOutcome",
     "SteeringProtocol",
     "SteeringTrialConfig",
+    "TargetVictim",
     "Templator",
     "TemplatorConfig",
+    "available_modalities",
+    "get_modality",
+    "register_modality",
 ]

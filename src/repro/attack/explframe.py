@@ -28,6 +28,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.attack.base import (
+    AttackModality,
+    FailureClass,
+    GENERIC_STAGES,
+    ResolutionStage,
+    StageFailure,
+    StageOutcome,
+)
+from repro.attack.registry import register_modality
 from repro.attack.templating import Templator, TemplatorConfig
 from repro.ciphers.aes_tables import AES_SBOX
 from repro.ciphers.present import PRESENT_SBOX, Present
@@ -94,7 +103,17 @@ class ExplFrameConfig:
 
 
 class ExplFrameAttack:
-    """Drives one attacker task through the full attack."""
+    """Drives one attacker task through the full attack.
+
+    Also the reference implementation of the :class:`AttackRun` side of
+    the modality contract (docs/ATTACKS.md): the orchestrator drives the
+    shared template/steer front half plus the :meth:`resolution_stages`
+    this class declares (re-hammer, then PFA).
+    """
+
+    #: Modality this run belongs to (reports carry it; "explframe" is
+    #: the default and is omitted from serialized reports).
+    modality_name = "explframe"
 
     def __init__(
         self,
@@ -137,6 +156,9 @@ class ExplFrameAttack:
         self.total_flips = 0
         self.campaigns_run = 0
         self._retired_rounds = 0
+        # Analysis units (faulty ciphertexts here; probe responses for
+        # FAULT+PROBE) consumed across every resolution-stage attempt.
+        self.analysis_units = 0
         self.bind_obs(machine.obs)
 
     def bind_obs(self, obs) -> None:
@@ -145,6 +167,11 @@ class ExplFrameAttack:
         if self.tenant_workload is not None:
             self.tenant_workload.bind_obs(obs)
         metrics = obs.metrics
+        self._bind_shared_metrics(metrics)
+        self._bind_modality_metrics(metrics)
+
+    def _bind_shared_metrics(self, metrics) -> None:
+        """Counters for the template/steer front half (every modality)."""
         self._m_campaigns = metrics.counter(
             "attack.template.campaigns", unit="campaigns",
             help="templating passes over fresh buffers",
@@ -164,6 +191,15 @@ class ExplFrameAttack:
             "attack.steer.successes", unit="attempts",
             help="steering rounds where the victim received the staged frame",
         )
+
+    def _bind_modality_metrics(self, metrics) -> None:
+        """Modality-specific instruments (subclasses override).
+
+        Kept separate from the shared block so a non-PFA modality never
+        registers ``attack.pfa.*`` — registered families appear in every
+        metrics snapshot even at zero, and the explframe ``--json``
+        report bytes are a compatibility contract.
+        """
         self._m_ciphertexts = metrics.counter(
             "attack.pfa.ciphertexts", unit="ciphertexts",
             help="faulty ciphertexts consumed by fault analysis",
@@ -436,6 +472,119 @@ class ExplFrameAttack:
         # last round key (a 16-bit schedule residue remains).
         return Present(self.true_key).round_keys[31].to_bytes(8, "big")
 
+    # -- modality contract (docs/ATTACKS.md) ------------------------------------------
+
+    def stage_names(self) -> tuple[str, ...]:
+        """Stage labels on this modality's timeline, in pipeline order."""
+        return GENERIC_STAGES + ("rehammer", "pfa")
+
+    def failure_classes(self) -> tuple[FailureClass, ...]:
+        """Failure classes this modality can emit (metrics label set)."""
+        return (
+            FailureClass.TEMPLATING_EXHAUSTED,
+            FailureClass.STEERING_MISS,
+            FailureClass.NON_REPEATABLE_FLIP,
+            FailureClass.DISARMED_DIRECTION,
+            FailureClass.PFA_INCONCLUSIVE,
+            FailureClass.KEY_MISMATCH,
+            FailureClass.BUDGET_EXHAUSTED,
+        )
+
+    def resolution_stages(self) -> tuple[ResolutionStage, ...]:
+        """Post-steer stages: re-hammer (with shape check), then PFA."""
+        return (
+            ResolutionStage(
+                "rehammer", policy="rehammer",
+                run=self._rehammer_stage, verify=self._verify_fault_shape,
+            ),
+            ResolutionStage("pfa", policy="pfa", run=self._pfa_stage),
+        )
+
+    def run_complete(self) -> bool:
+        """One recovered key is the whole job for this modality."""
+        return True
+
+    def analysis_units_consumed(self) -> int:
+        """Faulty ciphertexts consumed across every PFA attempt."""
+        return self.analysis_units
+
+    def report_extra(self) -> dict | None:
+        """No modality block: the core report schema already says it all."""
+        return None
+
+    def _rehammer_stage(self, victim, template: FlipTemplate, attempt: int) -> StageOutcome:
+        recovery = (
+            None if attempt == 0 else f"re-hammer after backoff (try {attempt + 1})"
+        )
+        if self.rehammer(template, victim):
+            return StageOutcome(ok=True, recovery=recovery)
+        return StageOutcome(
+            ok=False,
+            recovery=recovery,
+            failure=StageFailure(
+                "rehammer",
+                FailureClass.NON_REPEATABLE_FLIP,
+                f"templated flip at offset {template.page_offset:#x} bit "
+                f"{template.bit} did not reproduce",
+            ),
+        )
+
+    def _verify_fault_shape(self, victim, template: FlipTemplate) -> StageFailure | None:
+        """Ground-truth shape check: is the observed fault the templated one?
+
+        PFA assumes the fault is exactly the templated (entry, bit) —
+        anything else (wrong entry, wrong bit, extra corruptions) means
+        v* is wrong and PFA would chase a phantom key.
+        """
+        corrupted = victim.sbox.corrupted_entries()
+        if len(corrupted) == 1:
+            index, expected, actual = corrupted[0]
+            predicted_index = template.page_offset - self.config.table_offset
+            if index == predicted_index and actual == expected ^ (1 << template.bit):
+                return None
+        return StageFailure(
+            "rehammer",
+            FailureClass.DISARMED_DIRECTION,
+            "fault present but shape does not match the template "
+            f"(expected entry {template.page_offset - self.config.table_offset}, "
+            f"bit {template.bit})",
+        )
+
+    def _pfa_stage(self, victim, template: FlipTemplate, attempt: int) -> StageOutcome:
+        # Retries widen the ciphertext budget instead of hoping the same
+        # sample size lands differently.
+        limit = self.config.pfa_limit << attempt
+        recovery = (
+            None if attempt == 0 else f"retry PFA with ciphertext budget {limit}"
+        )
+        recovered, consumed, _residual = self.run_fault_analysis(
+            victim, template, limit
+        )
+        self.analysis_units += consumed
+        if recovered is None:
+            return StageOutcome(
+                ok=False,
+                recovery=recovery,
+                failure=StageFailure(
+                    "pfa",
+                    FailureClass.PFA_INCONCLUSIVE,
+                    f"key space not unique after {consumed} ciphertexts",
+                ),
+            )
+        if recovered != self.target_key():
+            # Wrong fault model: move to the next candidate immediately.
+            return StageOutcome(
+                ok=False,
+                recovery=recovery,
+                advance="next-candidate",
+                failure=StageFailure(
+                    "pfa",
+                    FailureClass.KEY_MISMATCH,
+                    "PFA converged on a key that fails verification",
+                ),
+            )
+        return StageOutcome(ok=True, recovery=recovery, recovered=recovered)
+
     # -- the full chain ---------------------------------------------------------------
 
     def run(self) -> EndToEndResult:
@@ -494,3 +643,39 @@ class ExplFrameAttack:
             log2_keyspace_after_pfa=residual_bits,
             sim_time_ns=self.kernel.clock.now_ns - start_ns,
         )
+
+
+# -- modality registration ----------------------------------------------------------
+
+
+class ExplFrameModality(AttackModality):
+    """The paper's attack: page-frame-cache steering + persistent fault analysis."""
+
+    name = "explframe"
+    description = (
+        "steer a templated flip into the victim's S-box and recover the key "
+        "by persistent fault analysis (the paper's attack)"
+    )
+
+    def default_config(self) -> ExplFrameConfig:
+        return ExplFrameConfig()
+
+    def make_config(
+        self, *, cipher: str, cpu: int, templator: TemplatorConfig, max_campaigns: int
+    ) -> ExplFrameConfig:
+        return ExplFrameConfig(
+            cipher=cipher, cpu=cpu, templator=templator, max_campaigns=max_campaigns
+        )
+
+    def build(
+        self, machine, *, config=None, key=None, tenant_workload=None
+    ) -> ExplFrameAttack:
+        return ExplFrameAttack(
+            machine, key=key, config=config, tenant_workload=tenant_workload
+        )
+
+    def required_capabilities(self) -> frozenset[str]:
+        return frozenset({"templating", "steering", "hammer", "ciphertext-oracle"})
+
+
+register_modality(ExplFrameModality())

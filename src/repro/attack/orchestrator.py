@@ -36,54 +36,28 @@ import json
 from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
-from enum import Enum
 
-from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
+# The failure taxonomy lives in repro.attack.base (it is part of the
+# cross-modality contract); re-exported here because this module is its
+# historical home and reports/journals import it from both places.
+from repro.attack.base import FailureClass, StageFailure  # noqa: F401
 from repro.core.results import FlipTemplate
 from repro.sim.errors import ConfigError, TemplatingExhaustedError
 from repro.sim.rng import derive_seed
 from repro.sim.units import MS, SECOND
 
-# -- failure taxonomy -------------------------------------------------------------
-
-
-class FailureClass(str, Enum):
-    """Why an attempt (or the whole run) failed.
-
-    String-valued so reports serialise to stable, readable JSON.
-    """
-
-    TEMPLATING_EXHAUSTED = "templating-exhausted"
-    STEERING_MISS = "steering-miss"
-    NON_REPEATABLE_FLIP = "non-repeatable-flip"
-    DISARMED_DIRECTION = "disarmed-direction"
-    PFA_INCONCLUSIVE = "pfa-inconclusive"
-    KEY_MISMATCH = "key-mismatch"
-    BUDGET_EXHAUSTED = "budget-exhausted"
-
-
-@dataclass(frozen=True)
-class StageFailure:
-    """One classified failure, with enough detail to debug the run."""
-
-    stage: str
-    failure_class: FailureClass
-    detail: str
-
-    def to_dict(self) -> dict:
-        return {
-            "stage": self.stage,
-            "class": self.failure_class.value,
-            "detail": self.detail,
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict) -> StageFailure:
-        return cls(
-            stage=data["stage"],
-            failure_class=FailureClass(data["class"]),
-            detail=data["detail"],
-        )
+#: Stage labels and failure classes assumed when an attack object
+#: predates the modality contract (plain stage-method duck types).
+_DEFAULT_STAGES = ("template", "steer", "rehammer", "pfa")
+_DEFAULT_FAILURE_CLASSES = (
+    FailureClass.TEMPLATING_EXHAUSTED,
+    FailureClass.STEERING_MISS,
+    FailureClass.NON_REPEATABLE_FLIP,
+    FailureClass.DISARMED_DIRECTION,
+    FailureClass.PFA_INCONCLUSIVE,
+    FailureClass.KEY_MISMATCH,
+    FailureClass.BUDGET_EXHAUSTED,
+)
 
 
 # -- policies and budgets ----------------------------------------------------------
@@ -116,7 +90,14 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class OrchestratorConfig:
-    """Budgets and per-stage retry policies for one orchestrated run."""
+    """Budgets and per-stage retry policies for one orchestrated run.
+
+    The policy fields are keyed by resolution stages through
+    :class:`~repro.attack.base.ResolutionStage.policy` — e.g. FAULT+PROBE's
+    ``probe`` stage declares ``policy="pfa"``, reusing the analysis-stage
+    slot rather than adding a field (which would change this dataclass's
+    repr and with it every existing checkpoint's config hash).
+    """
 
     deadline_ns: int = 120 * SECOND
     activation_budget: int = 100_000_000_000
@@ -134,6 +115,13 @@ class OrchestratorConfig:
             )
         if self.campaign_budget <= 0:
             raise ConfigError(f"campaign_budget must be positive, got {self.campaign_budget}")
+
+    def policy_for(self, name: str) -> RetryPolicy:
+        """The retry policy a resolution stage named as its key."""
+        policy = getattr(self, name, None)
+        if not isinstance(policy, RetryPolicy):
+            raise ConfigError(f"no retry policy named {name!r} on OrchestratorConfig")
+        return policy
 
 
 # -- report ------------------------------------------------------------------------
@@ -237,6 +225,12 @@ class AttackRunReport:
     # their checked-in campaign digests) are byte-identical.
     target_tenant: str | None = None
     background_tenants: int = 0
+    # Which attack produced this report, plus the modality's own result
+    # block (``report_extra()``).  Both are omitted from the serialized
+    # form for the default explframe modality, keeping pre-modality
+    # report bytes (and the checked-in campaign digests) identical.
+    modality: str = "explframe"
+    extra: dict | None = None
 
     @property
     def failure_classes(self) -> list[str]:
@@ -289,6 +283,10 @@ class AttackRunReport:
         if self.target_tenant is not None:
             out["target_tenant"] = self.target_tenant
             out["background_tenants"] = self.background_tenants
+        if self.modality != "explframe":
+            out["modality"] = self.modality
+        if self.extra is not None:
+            out["extra"] = self.extra
         return out
 
     def to_json(self) -> str:
@@ -330,6 +328,8 @@ class AttackRunReport:
             faulty_ciphertexts=data["faulty_ciphertexts"],
             target_tenant=data.get("target_tenant"),
             background_tenants=data.get("background_tenants", 0),
+            modality=data.get("modality", "explframe"),
+            extra=data.get("extra"),
         )
 
 
@@ -337,17 +337,20 @@ class AttackRunReport:
 
 
 class AttackOrchestrator:
-    """Runs an :class:`ExplFrameAttack` to success or exhaustion.
+    """Runs any modality's :class:`~repro.attack.base.AttackRun` to success
+    or exhaustion.
 
-    The attack object supplies the stages; the orchestrator supplies the
-    control flow.  Chaos (if any) is attached to the kernel separately —
-    the orchestrator only *reads* ``kernel.chaos`` for forensics, it
-    never injects adversity itself.
+    The attack object supplies the stages (the shared template/steer
+    front half plus its declared resolution stages); the orchestrator
+    supplies the control flow, keyed purely by stage *name* — it never
+    names a concrete attack class.  Chaos (if any) is attached to the
+    kernel separately — the orchestrator only *reads* ``kernel.chaos``
+    for forensics, it never injects adversity itself.
     """
 
     def __init__(
         self,
-        attack: ExplFrameAttack,
+        attack,
         config: OrchestratorConfig | None = None,
         candidates: Iterable[FlipTemplate] | None = None,
     ):
@@ -365,19 +368,28 @@ class AttackOrchestrator:
         self._start_ns = 0
         self.obs = attack.obs
         metrics = self.obs.metrics
+        # Instrument labels come from the modality: registering only the
+        # stages/classes it can emit keeps every other modality's metric
+        # snapshot unchanged (registered instruments appear at zero).
+        stage_names = tuple(
+            getattr(attack, "stage_names", lambda: _DEFAULT_STAGES)()
+        )
+        failure_classes = tuple(
+            getattr(attack, "failure_classes", lambda: _DEFAULT_FAILURE_CLASSES)()
+        )
         self._m_attempts = {
             stage: metrics.counter(
                 "attack.stage.attempts", labels={"stage": stage},
                 unit="attempts", help="stage attempts by stage name",
             )
-            for stage in ("template", "steer", "rehammer", "pfa", "budget")
+            for stage in (*stage_names, "budget")
         }
         self._m_failures = {
             failure_class.value: metrics.counter(
                 "attack.stage.failures", labels={"class": failure_class.value},
                 unit="failures", help="classified stage failures",
             )
-            for failure_class in FailureClass
+            for failure_class in failure_classes
         }
         self._m_recoveries = metrics.counter(
             "attack.recoveries", unit="recoveries",
@@ -478,35 +490,76 @@ class AttackOrchestrator:
         self.kernel.sys_sched_setaffinity(attacker.pid, frozenset({home}))
         return f"repinned attacker from cpu {moved_from} to cpu {home}"
 
-    def _fault_matches_template(self, victim, template: FlipTemplate) -> bool:
-        """Ground-truth check: is the observed fault the templated one?
-
-        A mismatched shape (wrong entry, wrong bit, or extra corruptions)
-        means v* is wrong and PFA would chase a phantom key.
-        """
-        corrupted = victim.sbox.corrupted_entries()
-        if len(corrupted) != 1:
-            return False
-        index, expected, actual = corrupted[0]
-        predicted_index = template.page_offset - self.attack.config.table_offset
-        return index == predicted_index and actual == expected ^ (1 << template.bit)
-
     # -- the state machine ---------------------------------------------------------
 
     def run(self) -> AttackRunReport:
-        """Drive template → steer → re-hammer → PFA to success or exhaustion."""
+        """Drive template → steer → resolution stages to success or exhaustion."""
         with self.obs.tracer.span("attack.orchestrate", "attack") as span:
             report = self._run()
             span.set("success", report.success)
             span.set("attempts", report.attempts)
         return report
 
+    def _resolve_candidate(
+        self, victim, template: FlipTemplate
+    ) -> tuple[bytes | None, StageFailure | None, bool]:
+        """Run the modality's resolution stages against one steered victim.
+
+        Returns ``(recovered, final_failure, resolved)``: ``resolved``
+        is True only when every stage (and its verify hook) passed; a
+        non-None ``final_failure`` is a blown budget that must terminate
+        the whole run.  Each stage retries under its own policy —
+        failures with ``advance="retry"`` back off and re-attempt,
+        ``"next-candidate"`` abandons the template immediately.
+        """
+        recovered: bytes | None = None
+        for stage in self.attack.resolution_stages():
+            policy = self.config.policy_for(stage.policy)
+            stage_ok = False
+            for attempt in range(policy.max_attempts):
+                budget_failure = self._blown_budget()
+                if budget_failure is not None:
+                    self._record(
+                        "budget", self.kernel.clock.now_ns, failure=budget_failure
+                    )
+                    return recovered, budget_failure, False
+                start = self.kernel.clock.now_ns
+                outcome = stage.run(victim, template, attempt)
+                if outcome.ok:
+                    self._record(stage.name, start, recovery=outcome.recovery)
+                    if outcome.recovered is not None:
+                        recovered = outcome.recovered
+                    stage_ok = True
+                    break
+                self._record(
+                    stage.name, start,
+                    failure=outcome.failure, recovery=outcome.recovery,
+                )
+                if outcome.advance == "next-candidate":
+                    # The candidate's fault model was wrong; anything
+                    # recovered from it is suspect.
+                    return None, None, False
+                self._backoff(policy, attempt)
+            if not stage_ok:
+                return recovered, None, False
+            if stage.verify is not None:
+                veto = stage.verify(victim, template)
+                if veto is not None:
+                    self._record(
+                        veto.stage, self.kernel.clock.now_ns, failure=veto
+                    )
+                    return recovered, None, False
+        return recovered, None, True
+
     def _run(self) -> AttackRunReport:
         attack = self.attack
         self._start_ns = self.kernel.clock.now_ns
         candidates: deque[FlipTemplate] = deque(self._initial_candidates)
         candidates_tried = 0
-        consumed_total = 0
+        # Analysis-unit spend (ciphertexts for PFA, probes for FAULT+PROBE)
+        # is reported as this run's delta, matching the pre-modality
+        # per-run accumulator.
+        analysis_start = attack.analysis_units_consumed()
         steer_misses = 0
         final_failure: StageFailure | None = None
         success = False
@@ -578,89 +631,15 @@ class AttackOrchestrator:
             self._record("steer", start, recovery=recovery)
             steer_misses = 0
 
-            # -- re-hammer: reproduce the templated flip inside the victim --------
-            faulted = False
-            for attempt in range(self.config.rehammer.max_attempts):
-                final_failure = self._blown_budget()
-                if final_failure is not None:
-                    self._record("budget", self.kernel.clock.now_ns, failure=final_failure)
-                    break
-                start = self.kernel.clock.now_ns
-                recovery = (
-                    None if attempt == 0 else f"re-hammer after backoff (try {attempt + 1})"
-                )
-                if attack.rehammer(template, victim):
-                    faulted = True
-                    self._record("rehammer", start, recovery=recovery)
-                    break
-                failure = StageFailure(
-                    "rehammer",
-                    FailureClass.NON_REPEATABLE_FLIP,
-                    f"templated flip at offset {template.page_offset:#x} bit "
-                    f"{template.bit} did not reproduce",
-                )
-                self._record("rehammer", start, failure=failure, recovery=recovery)
-                self._backoff(self.config.rehammer, attempt)
+            # -- resolution: the modality's own stages over the steered victim ----
+            recovered, final_failure, resolved = self._resolve_candidate(
+                victim, template
+            )
             if final_failure is not None:
                 break
-            if not faulted:
+            if not resolved:
                 continue  # next candidate template
-
-            # Ground-truth shape check: PFA assumes the fault is exactly the
-            # templated (entry, bit) — anything else is a disarmed or stray
-            # flip and v* would be wrong.
-            if not self._fault_matches_template(victim, template):
-                failure = StageFailure(
-                    "rehammer",
-                    FailureClass.DISARMED_DIRECTION,
-                    "fault present but shape does not match the template "
-                    f"(expected entry {template.page_offset - attack.config.table_offset}, "
-                    f"bit {template.bit})",
-                )
-                self._record("rehammer", self.kernel.clock.now_ns, failure=failure)
-                continue
-
-            # -- PFA: recover the key, widening the ciphertext budget on retry ----
-            target = attack.target_key()
-            for attempt in range(self.config.pfa.max_attempts):
-                final_failure = self._blown_budget()
-                if final_failure is not None:
-                    self._record("budget", self.kernel.clock.now_ns, failure=final_failure)
-                    break
-                start = self.kernel.clock.now_ns
-                limit = attack.config.pfa_limit << attempt
-                recovery = (
-                    None
-                    if attempt == 0
-                    else f"retry PFA with ciphertext budget {limit}"
-                )
-                recovered, consumed, _residual = attack.run_fault_analysis(
-                    victim, template, limit
-                )
-                consumed_total += consumed
-                if recovered is None:
-                    failure = StageFailure(
-                        "pfa",
-                        FailureClass.PFA_INCONCLUSIVE,
-                        f"key space not unique after {consumed} ciphertexts",
-                    )
-                    self._record("pfa", start, failure=failure, recovery=recovery)
-                    self._backoff(self.config.pfa, attempt)
-                    continue
-                if recovered != target:
-                    failure = StageFailure(
-                        "pfa",
-                        FailureClass.KEY_MISMATCH,
-                        "PFA converged on a key that fails verification",
-                    )
-                    self._record("pfa", start, failure=failure, recovery=recovery)
-                    recovered = None
-                    break  # wrong fault model: move to the next candidate
-                self._record("pfa", start, recovery=recovery)
-                success = True
-                break
-            if final_failure is not None:
-                break
+            success = attack.run_complete()
 
         if success:
             final_failure = None
@@ -690,9 +669,11 @@ class AttackOrchestrator:
             templated_flips=attack.total_flips,
             candidates_tried=candidates_tried,
             recoveries=tuple(self._recoveries),
-            faulty_ciphertexts=consumed_total,
+            faulty_ciphertexts=attack.analysis_units_consumed() - analysis_start,
             target_tenant=None if workload is None else workload.scenario.target,
             background_tenants=0 if workload is None else workload.background_count,
+            modality=getattr(attack, "modality_name", "explframe"),
+            extra=attack.report_extra(),
         )
 
 
@@ -814,7 +795,8 @@ class AttackCampaign:
         base_config,
         attempts: int,
         *,
-        attack_config: ExplFrameConfig | None = None,
+        modality: str = "explframe",
+        attack_config=None,
         orchestrator_config: OrchestratorConfig | None = None,
         fork_from_template: bool = True,
         chaos_profile: str = "none",
@@ -823,6 +805,8 @@ class AttackCampaign:
         pool_mode: str = "ship",
         scenario=None,
     ):
+        from repro.attack.registry import get_modality
+
         if attempts <= 0:
             raise ConfigError(f"attempts must be positive, got {attempts}")
         if workers < 1:
@@ -831,9 +815,13 @@ class AttackCampaign:
             raise ConfigError(
                 f"unknown pool_mode {pool_mode!r}; expected one of {self.POOL_MODES}"
             )
+        # Resolved eagerly so an unknown name fails at construction (CLI
+        # exit 2), not in a worker process mid-campaign.
+        modality_impl = get_modality(modality)
+        self.modality = modality
         self.base_config = base_config
         self.attempts = attempts
-        self.attack_config = attack_config or ExplFrameConfig()
+        self.attack_config = attack_config or modality_impl.default_config()
         self.orchestrator_config = orchestrator_config or OrchestratorConfig()
         self.fork_from_template = fork_from_template
         self.chaos_profile = chaos_profile
@@ -862,6 +850,7 @@ class AttackCampaign:
 
     def _warm(self):
         """Build a machine and drive its attack to post-templating state."""
+        from repro.attack.registry import get_modality
         from repro.core.machine import Machine
 
         machine = Machine(self.base_config)
@@ -871,7 +860,7 @@ class AttackCampaign:
 
             workload = WorkloadEngine(machine, self.scenario)
             workload.start()
-        attack = ExplFrameAttack(
+        attack = get_modality(self.modality).build(
             machine, config=self.attack_config, tenant_workload=workload
         )
         candidates = tuple(

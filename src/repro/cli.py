@@ -111,21 +111,36 @@ def _print_workload(workload) -> None:
 def cmd_attack(args: argparse.Namespace) -> int:
     """Run the full ExplFrame chain; exit code 0 iff the key was recovered.
 
-    With ``--chaos`` (or ``--orchestrate``) the run goes through the
-    resilient :class:`AttackOrchestrator` — retries, simulated-time
-    backoff, budgets — and prints an :class:`AttackRunReport` summary;
-    ``--single-shot`` forces the bare pipeline even under chaos.  Both
-    paths exit non-zero when the key is not recovered.
+    ``--modality`` selects the registered attack (docs/ATTACKS.md;
+    default ``explframe``, the paper's).  With ``--chaos`` (or
+    ``--orchestrate``) the run goes through the resilient
+    :class:`AttackOrchestrator` — retries, simulated-time backoff,
+    budgets — and prints an :class:`AttackRunReport` summary;
+    ``--single-shot`` forces the bare pipeline even under chaos
+    (explframe only — other modalities are orchestrator-driven).  Both
+    paths exit non-zero when the run's goal is not reached.
     """
-    from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig
     from repro.attack.orchestrator import (
         AttackOrchestrator,
         OrchestratorConfig,
         RetryPolicy,
     )
+    from repro.attack.registry import available_modalities, get_modality
     from repro.attack.templating import TemplatorConfig
     from repro.sim.chaos import ChaosEngine, chaos_profile
+    from repro.sim.errors import ConfigError
     from repro.sim.units import SECOND
+
+    if args.list_modalities:
+        for name, description in available_modalities().items():
+            print(f"{name:<12} {description}")
+        return 0
+    modality = get_modality(args.modality)
+    if args.single_shot and args.modality != "explframe":
+        raise ConfigError(
+            "--single-shot only supports the explframe modality, "
+            f"not {args.modality!r}"
+        )
 
     scenario = _load_scenario_arg(args)
     if args.campaign:
@@ -141,7 +156,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
     if args.chaos != "none" or args.trace:
         ChaosEngine(machine.kernel, chaos_profile(args.chaos, args.chaos_intensity))
     cipher, cpu = _scenario_attack_knobs(args, scenario)
-    config = ExplFrameConfig(
+    config = modality.make_config(
         cipher=cipher,
         cpu=cpu,
         templator=TemplatorConfig(
@@ -155,12 +170,16 @@ def cmd_attack(args: argparse.Namespace) -> int:
 
         workload = WorkloadEngine(machine, scenario)
         workload.start()
-    attack = ExplFrameAttack(machine, config=config, tenant_workload=workload)
+    attack = modality.build(machine, config=config, tenant_workload=workload)
 
     # --json reports the orchestrator's AttackRunReport, so it implies
-    # orchestration (like --chaos); --single-shot still wins.
+    # orchestration (like --chaos); non-default modalities are always
+    # orchestrated; --single-shot still wins (guarded above).
     orchestrate = (
-        args.orchestrate or args.chaos != "none" or args.json
+        args.orchestrate
+        or args.chaos != "none"
+        or args.json
+        or args.modality != "explframe"
     ) and not args.single_shot
     if orchestrate:
         retries = args.max_retries
@@ -206,9 +225,26 @@ def cmd_attack(args: argparse.Namespace) -> int:
             f"{spend.campaign_budget}"
         )
         _print_workload(workload)
-        print(f"true key:             {report.true_key}")
-        print(f"recovered key:        {report.recovered_key or '-'}")
-        print(f"KEY RECOVERED:        {report.success}")
+        if report.modality != "explframe" and report.extra is not None:
+            extra = report.extra
+            print(f"modality:             {report.modality}")
+            print(
+                f"bits recovered:       {extra['bits_recovered']} of "
+                f"{extra['bits_targeted']} targeted"
+            )
+            if extra["accuracy"] is not None:
+                print(f"bit accuracy:         {extra['accuracy']:.2%}")
+            for bit in extra["bits"]:
+                verdict = "ok" if bit["correct"] else "WRONG"
+                print(
+                    f"  entry {bit['entry']:#04x} bit {bit['bit']}: "
+                    f"predicted {bit['predicted']} actual {bit['actual']} ({verdict})"
+                )
+            print(f"RUN SUCCEEDED:        {report.success}")
+        else:
+            print(f"true key:             {report.true_key}")
+            print(f"recovered key:        {report.recovered_key or '-'}")
+            print(f"KEY RECOVERED:        {report.success}")
         _emit_observability(machine, args, json_mode=False)
         return 0 if report.success else 1
 
@@ -245,8 +281,8 @@ def _cmd_attack_campaign(args: argparse.Namespace, scenario=None) -> int:
     digest.  ``--stream-out FILE`` additionally appends each report to
     FILE as a JSON line the moment it lands.
     """
-    from repro.attack.explframe import ExplFrameConfig
     from repro.attack.orchestrator import AttackCampaign, OrchestratorConfig
+    from repro.attack.registry import get_modality
     from repro.attack.templating import TemplatorConfig
     from repro.sim.errors import ConfigError
     from repro.sim.units import SECOND
@@ -255,7 +291,8 @@ def _cmd_attack_campaign(args: argparse.Namespace, scenario=None) -> int:
     campaign = AttackCampaign(
         _vulnerable_config(args.seed, args.density),
         args.campaign,
-        attack_config=ExplFrameConfig(
+        modality=args.modality,
+        attack_config=get_modality(args.modality).make_config(
             cipher=cipher,
             cpu=cpu,
             templator=TemplatorConfig(
@@ -481,6 +518,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     attack = sub.add_parser("attack", help="run the full ExplFrame attack")
     _add_seed(attack)
+    attack.add_argument(
+        "--modality",
+        metavar="NAME",
+        default="explframe",
+        help="registered attack modality to run (default explframe; see "
+        "--list-modalities and docs/ATTACKS.md)",
+    )
+    attack.add_argument(
+        "--list-modalities",
+        action="store_true",
+        help="print the registered attack modalities and exit",
+    )
     attack.add_argument(
         "--cipher", choices=["aes", "aes_ttable", "present"], default="aes"
     )

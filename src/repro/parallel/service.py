@@ -153,6 +153,17 @@ def campaign_config_hash(campaign) -> str:
     scenario = getattr(campaign, "scenario", None)
     if scenario is not None:
         knobs.append(scenario)
+    # Same append-only pattern for the attack modality: the default
+    # ("explframe") keeps pre-modality checkpoint hashes intact, while a
+    # different modality — or the same one with different
+    # ``config_hash_fields()`` — can never resume another modality's
+    # checkpoint (--resume exits 2 on the mismatch).
+    modality = getattr(campaign, "modality", "explframe")
+    if modality != "explframe":
+        from repro.attack.registry import get_modality
+
+        knobs.append(modality)
+        knobs.extend(get_modality(modality).config_hash_fields(campaign.attack_config))
     description = repr(tuple(knobs))
     return hashlib.sha256(description.encode("utf-8")).hexdigest()
 
@@ -414,6 +425,9 @@ class CampaignService:
             "snapshot_digest": snapshot_digest,
             "attempts": self.campaign.attempts,
             "mode": self.campaign.mode,
+            # Advisory (the config hash is the authority): which attack
+            # modality wrote this checkpoint, for humans reading the dir.
+            "modality": getattr(self.campaign, "modality", "explframe"),
             "shard": self.shard.spec,
             "journal": self.journal_path.name,
             "completed": completed,

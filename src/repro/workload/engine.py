@@ -21,6 +21,7 @@ request's, the noisy-neighbour interference the T12 bench measures.
 
 from __future__ import annotations
 
+from repro.attack.base import TargetVictim
 from repro.ciphers.table_memory import CipherVictim
 from repro.os.task import TaskState
 from repro.sim.errors import ConfigError
@@ -266,14 +267,22 @@ class WorkloadEngine:
         for tenant in self.tenants.values():
             tenant.schedule_first()
 
-    def attach_target(self, victim: CipherVictim) -> None:
+    def attach_target(self, victim: TargetVictim) -> None:
         """Hand the target tenant the victim the attack just steered.
 
-        The previous incarnation (an earlier steering attempt) exits,
+        Accepts any modality's steered victim structurally (the
+        :class:`~repro.attack.base.TargetVictim` protocol:
+        :class:`CipherVictim` is the canonical implementation).  The
+        previous incarnation (an earlier steering attempt) exits,
         returning its frames to the page frame cache — the attack calls
         this *after* scoring the new allocation, so the exit can't
         perturb the steer it follows.
         """
+        if not isinstance(victim, TargetVictim):
+            raise ConfigError(
+                f"target victim {victim!r} does not implement the "
+                "TargetVictim protocol (pid + encrypt)"
+            )
         tenant = self.target
         previous = tenant.victim
         tenant.victim = victim
@@ -282,6 +291,28 @@ class WorkloadEngine:
         tenant._scratch_va = None
         if previous is not None:
             self.kernel.sys_exit(previous.pid)
+
+    def probe_target(self, plaintext: bytes) -> bytes:
+        """Encrypt one block through the target tenant's serving path.
+
+        The FAULT+PROBE response-discrepancy oracle: a probe is one more
+        request the target serves (counted in its issued/served/encryption
+        totals), not a side-channel call behind the engine's back — so
+        probing traffic shows up in tenant summaries and metrics exactly
+        like organic load.
+        """
+        tenant = self.target
+        victim = tenant.victim
+        if victim is None:
+            raise ConfigError("no victim attached to the target tenant")
+        ciphertext = victim.encrypt(plaintext)
+        tenant.issued += 1
+        tenant.served += 1
+        tenant.blocks_encrypted += 1
+        self._m_issued[tenant.name].inc()
+        self._m_served[tenant.name].inc()
+        self._m_encryptions["target"].inc()
+        return ciphertext
 
     def next_target_arrival_ns(self) -> int:
         """Absolute due time of the target's next request."""

@@ -122,6 +122,53 @@ class TestAttackCommand:
         assert "KEY RECOVERED:        False" in capsys.readouterr().out
 
 
+class TestModalityOption:
+    FAST = ["--buffer-mib", "4"]
+
+    def test_list_modalities_prints_registry_and_exits_zero(self, capsys):
+        assert main(["attack", "--list-modalities"]) == 0
+        out = capsys.readouterr().out
+        assert "explframe" in out
+        assert "faultprobe" in out
+        assert "FAULT+PROBE" in out  # descriptions ride along
+
+    def test_unknown_modality_exits_two_with_the_available_list(self, capsys):
+        assert main(["attack", "--modality", "nope", *self.FAST]) == 2
+        err = capsys.readouterr().err
+        assert "unknown attack modality 'nope'" in err
+        assert "available: explframe, faultprobe" in err
+
+    def test_single_shot_is_explframe_only(self, capsys):
+        code = main(
+            ["attack", "--modality", "faultprobe", "--single-shot", *self.FAST]
+        )
+        assert code == 2
+        assert "--single-shot" in capsys.readouterr().err
+
+    def test_faultprobe_recovers_bits(self, capsys):
+        code = main(["attack", "--seed", "7", "--modality", "faultprobe", *self.FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modality:             faultprobe" in out
+        assert "bits recovered:       4 of 4 targeted" in out
+        assert "bit accuracy:         100.00%" in out
+        assert "RUN SUCCEEDED:        True" in out
+
+    def test_faultprobe_json_report_carries_extra_and_metrics(self, capsys):
+        code = main(
+            ["attack", "--seed", "7", "--modality", "faultprobe", "--json",
+             *self.FAST]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["success"] is True
+        assert report["modality"] == "faultprobe"
+        assert report["extra"]["bits_recovered"] == 4
+        assert report["extra"]["accuracy"] == 1.0
+        assert report["metrics"]["attack.faultprobe.probes"] > 0
+        assert "attack.pfa.ciphertexts" not in report["metrics"]
+
+
 class TestScenarioOption:
     FAST = ["--buffer-mib", "4"]
 

@@ -21,6 +21,7 @@ from pathlib import Path
 import pytest
 
 from repro.attack.explframe import ExplFrameConfig
+from repro.attack.faultprobe import FaultProbeConfig
 from repro.attack.orchestrator import AttackCampaign, AttackRunReport
 from repro.attack.templating import TemplatorConfig
 from repro.core import MachineConfig
@@ -44,6 +45,9 @@ from repro.sim.units import MIB
 FAST = ExplFrameConfig(
     templator=TemplatorConfig(buffer_bytes=4 * MIB, rounds=650_000, batch_pairs=8)
 )
+FAST_PROBE = FaultProbeConfig(
+    templator=TemplatorConfig(buffer_bytes=4 * MIB, rounds=650_000, batch_pairs=8)
+)
 
 
 def vulnerable_config(seed=7):
@@ -58,6 +62,13 @@ def vulnerable_config(seed=7):
 def make_campaign(attempts=4, seed=7, **kwargs):
     return AttackCampaign(
         vulnerable_config(seed), attempts, attack_config=FAST, **kwargs
+    )
+
+
+def make_faultprobe_campaign(attempts=4, seed=7, **kwargs):
+    return AttackCampaign(
+        vulnerable_config(seed), attempts, attack_config=FAST_PROBE,
+        modality="faultprobe", **kwargs
     )
 
 
@@ -105,6 +116,23 @@ class TestConfigHash:
         base = campaign_config_hash(make_campaign())
         assert campaign_config_hash(make_campaign(workers=4)) == base
         assert campaign_config_hash(make_campaign(pool_mode="rewarm")) == base
+
+    def test_explicit_default_modality_keeps_pre_modality_hashes(self):
+        # "explframe" is appended to nothing: checkpoints written before
+        # the modality layer existed must stay resumable.
+        assert campaign_config_hash(
+            make_campaign(modality="explframe")
+        ) == campaign_config_hash(make_campaign())
+
+    def test_modality_changes_the_hash(self):
+        assert campaign_config_hash(make_faultprobe_campaign()) != (
+            campaign_config_hash(make_campaign())
+        )
+
+    def test_stable_across_equal_faultprobe_campaigns(self):
+        assert campaign_config_hash(make_faultprobe_campaign()) == (
+            campaign_config_hash(make_faultprobe_campaign())
+        )
 
 
 # -- journal framing ---------------------------------------------------------------
@@ -363,6 +391,28 @@ class TestServiceParity:
                 make_campaign(attempts=4, seed=8), tmp_path, resume=True
             ).run()
 
+    def test_cross_modality_resume_is_refused_before_any_work(self, tmp_path):
+        # A hand-written manifest stands in for an explframe checkpoint:
+        # the mismatch must trip on the config hash alone, before the
+        # service warms a machine or journals a single attempt.
+        (tmp_path / "manifest-0of1.json").write_text(json.dumps({
+            "version": 1,
+            "config_hash": campaign_config_hash(make_campaign(attempts=4)),
+            "snapshot_digest": None,
+            "attempts": 4,
+            "mode": "ship",
+            "modality": "explframe",
+            "shard": "0/1",
+            "journal": "journal-0of1.jsonl",
+            "completed": 0,
+            "status": "running",
+            "digest": None,
+        }))
+        with pytest.raises(CheckpointError, match="different campaign config"):
+            CampaignService(
+                make_faultprobe_campaign(attempts=4), tmp_path, resume=True
+            ).run()
+
     def test_journal_reports_round_trip_through_from_dict(self, tmp_path):
         service = CampaignService(make_campaign(attempts=2), tmp_path)
         service.run()
@@ -421,6 +471,21 @@ class TestKillResumeSmoke:
                 sys.executable,
                 str(Path(__file__).parent.parent / "scripts" / "service_smoke.py"),
                 "kill-resume", "--dir", str(tmp_path), "--attempts", "4",
+            ],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
+
+    def test_sigkilled_faultprobe_campaign_resumes_to_the_exact_digest(
+        self, tmp_path
+    ):
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(Path(__file__).parent.parent / "scripts" / "service_smoke.py"),
+                "kill-resume", "--dir", str(tmp_path), "--attempts", "4",
+                "--chaos", "none", "--modality", "faultprobe",
             ],
             capture_output=True, text=True, timeout=600,
         )
