@@ -26,6 +26,7 @@ DOC = REPO / "docs" / "OBSERVABILITY.md"
 
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.attack.evictframe import EvictFrameAttack, EvictFrameConfig  # noqa: E402
 from repro.attack.explframe import ExplFrameAttack, ExplFrameConfig  # noqa: E402
 from repro.attack.faultprobe import FaultProbeAttack, FaultProbeConfig  # noqa: E402
 from repro.attack.orchestrator import (  # noqa: E402
@@ -86,6 +87,19 @@ def registered_families() -> set[str]:
         name
         for name in probe_machine.obs.metrics.family_names()
         if name.startswith("attack.faultprobe.")
+    )
+    # Same story for the attack.evict.* family (evictframe modality).
+    evict_machine = Machine(MachineConfig.small(seed=0))
+    EvictFrameAttack(
+        evict_machine,
+        config=EvictFrameConfig(
+            templator=TemplatorConfig(buffer_bytes=2 * MIB)
+        ),
+    )
+    families.update(
+        name
+        for name in evict_machine.obs.metrics.family_names()
+        if name.startswith("attack.evict.")
     )
     return families
 

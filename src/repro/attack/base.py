@@ -56,6 +56,7 @@ class FailureClass(str, Enum):
     KEY_MISMATCH = "key-mismatch"
     BUDGET_EXHAUSTED = "budget-exhausted"
     PROBE_INCONCLUSIVE = "probe-inconclusive"
+    EVICTION_SET_INCOMPLETE = "eviction-set-incomplete"
 
 
 @dataclass(frozen=True)

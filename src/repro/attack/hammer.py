@@ -13,7 +13,7 @@ and is how user-space Rowhammer code classifies address pairs.
 from __future__ import annotations
 
 from repro.dram.controller import HammerResult
-from repro.os.kernel import Kernel
+from repro.os.kernel import EvictHammerResult, Kernel
 from repro.sim.errors import ConfigError
 from repro.sim.units import PAGE_SIZE
 
@@ -59,6 +59,32 @@ class Hammerer:
         """Alternately access + flush the two addresses ``rounds`` times."""
         result = self.kernel.sys_hammer(
             self.pid, [va_a, va_b], rounds or self.rounds, flush=True
+        )
+        self.total_rounds += result.rounds
+        self.total_activations += result.activations
+        return result
+
+    def hammer_evict(
+        self,
+        aggressor_vas: list[int],
+        eviction_vas: list[list[int]],
+        rounds: int | None = None,
+        pattern: str = "sequential",
+    ) -> EvictHammerResult:
+        """Flush-free hammering: evict each aggressor by cache-set traversal.
+
+        ``eviction_vas[i]`` is the congruent eviction set for
+        ``aggressor_vas[i]`` (see ``derive_eviction_set`` in the evictframe
+        modality); ``pattern`` picks the per-round access order.  No clflush
+        is issued — the traversal itself pushes the aggressor line out of
+        the LRU cache, Rowhammer.js style.
+        """
+        result = self.kernel.sys_hammer_evict(
+            self.pid,
+            aggressor_vas,
+            eviction_vas,
+            rounds or self.rounds,
+            pattern=pattern,
         )
         self.total_rounds += result.rounds
         self.total_activations += result.activations

@@ -16,7 +16,11 @@ from repro.sim.errors import ConfigError
 _REGISTRY: dict[str, AttackModality] = {}
 
 #: Modules whose import registers the built-in modalities.
-_BUILTIN_MODULES = ("repro.attack.explframe", "repro.attack.faultprobe")
+_BUILTIN_MODULES = (
+    "repro.attack.explframe",
+    "repro.attack.faultprobe",
+    "repro.attack.evictframe",
+)
 
 
 def register_modality(modality: AttackModality) -> AttackModality:

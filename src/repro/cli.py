@@ -108,6 +108,30 @@ def _print_workload(workload) -> None:
         )
 
 
+def _apply_evict_knobs(args: argparse.Namespace, config):
+    """Fold the evictframe-only CLI knobs into the modality config.
+
+    The defaults mirror ``EvictFrameConfig``; passing either knob with a
+    different modality is a configuration error rather than a silent
+    no-op.
+    """
+    import dataclasses
+
+    from repro.sim.errors import ConfigError
+
+    if args.modality == "evictframe":
+        return dataclasses.replace(
+            config,
+            evict_slack=args.evict_slack,
+            evict_pattern=args.evict_pattern,
+        )
+    if args.evict_slack != 2 or args.evict_pattern != "sequential":
+        raise ConfigError(
+            "--evict-slack/--evict-pattern only apply to --modality evictframe"
+        )
+    return config
+
+
 def cmd_attack(args: argparse.Namespace) -> int:
     """Run the full ExplFrame chain; exit code 0 iff the key was recovered.
 
@@ -164,6 +188,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         ),
         max_campaigns=args.campaigns,
     )
+    config = _apply_evict_knobs(args, config)
     workload = None
     if scenario is not None:
         from repro.workload import WorkloadEngine
@@ -225,9 +250,10 @@ def cmd_attack(args: argparse.Namespace) -> int:
             f"{spend.campaign_budget}"
         )
         _print_workload(workload)
+        if report.modality != "explframe":
+            print(f"modality:             {report.modality}")
         if report.modality != "explframe" and report.extra is not None:
             extra = report.extra
-            print(f"modality:             {report.modality}")
             print(
                 f"bits recovered:       {extra['bits_recovered']} of "
                 f"{extra['bits_targeted']} targeted"
@@ -292,13 +318,16 @@ def _cmd_attack_campaign(args: argparse.Namespace, scenario=None) -> int:
         _vulnerable_config(args.seed, args.density),
         args.campaign,
         modality=args.modality,
-        attack_config=get_modality(args.modality).make_config(
-            cipher=cipher,
-            cpu=cpu,
-            templator=TemplatorConfig(
-                buffer_bytes=args.buffer_mib * MIB, batch_pairs=16
+        attack_config=_apply_evict_knobs(
+            args,
+            get_modality(args.modality).make_config(
+                cipher=cipher,
+                cpu=cpu,
+                templator=TemplatorConfig(
+                    buffer_bytes=args.buffer_mib * MIB, batch_pairs=16
+                ),
+                max_campaigns=args.campaigns,
             ),
-            max_campaigns=args.campaigns,
         ),
         orchestrator_config=OrchestratorConfig(
             deadline_ns=int(args.deadline * SECOND),
@@ -532,6 +561,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     attack.add_argument(
         "--cipher", choices=["aes", "aes_ttable", "present"], default="aes"
+    )
+    attack.add_argument(
+        "--evict-slack",
+        type=int,
+        default=2,
+        metavar="N",
+        help="evictframe only: eviction-set members beyond the cache's "
+        "associativity (default 2)",
+    )
+    attack.add_argument(
+        "--evict-pattern",
+        choices=["sequential", "interleave"],
+        default="sequential",
+        help="evictframe only: per-round access order over aggressors and "
+        "their eviction sets (default sequential)",
     )
     attack.add_argument(
         "--scenario",

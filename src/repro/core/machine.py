@@ -274,6 +274,7 @@ class Machine:
             self.watchdog.bind_obs(self.obs)
         if self.kernel.chaos is not None:
             self.kernel.chaos.bind_obs(self.obs)
+        self.cache.bind_obs(self.obs)
         self._register_cache_metrics()
 
     def _rebind_obs(self) -> None:

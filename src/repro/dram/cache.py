@@ -44,6 +44,15 @@ class CpuCacheConfig:
         """Total cache capacity."""
         return self.line_size * self.sets * self.ways
 
+    @property
+    def way_stride(self) -> int:
+        """Byte distance between consecutive addresses in the same set.
+
+        Two physical addresses that differ by a multiple of this stride map
+        to the same cache set — the congruence an eviction set exploits.
+        """
+        return self.line_size * self.sets
+
 
 class CpuCache:
     """Set-associative LRU cache over physical line addresses."""
@@ -57,6 +66,7 @@ class CpuCache:
         self.hits = 0
         self.misses = 0
         self.flushes = 0
+        self.evictions = 0
 
     def _locate(self, phys: int) -> tuple[int, int]:
         """Return (set index, line tag) for a physical address."""
@@ -64,6 +74,10 @@ class CpuCache:
             raise ConfigError(f"physical address must be non-negative, got {phys:#x}")
         line = phys // self.config.line_size
         return line % self.config.sets, line
+
+    def set_index(self, phys: int) -> int:
+        """The cache set a physical address maps to (public: set-index bits)."""
+        return self._locate(phys)[0]
 
     def access(self, phys: int) -> bool:
         """Access one byte; returns True on hit (no DRAM traffic needed)."""
@@ -77,6 +91,7 @@ class CpuCache:
         ways[tag] = None
         if len(ways) > self.config.ways:
             ways.popitem(last=False)
+            self.evictions += 1
         return False
 
     def flush(self, phys: int) -> bool:
@@ -108,6 +123,38 @@ class CpuCache:
         """Lifetime hit rate (0.0 when no accesses have happened)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def bind_obs(self, obs) -> None:
+        """Publish the ``dram.cache.*`` gauge family.
+
+        Collector-sourced so the per-access hot path stays untouched: the
+        counters above are plain ints, read out only at snapshot time.
+        """
+        metrics = obs.metrics
+        hits = metrics.gauge(
+            "dram.cache.hits", unit="accesses", help="cache hits served"
+        )
+        misses = metrics.gauge(
+            "dram.cache.misses", unit="accesses", help="cache misses (reached DRAM)"
+        )
+        evictions = metrics.gauge(
+            "dram.cache.evictions", unit="lines", help="LRU capacity evictions"
+        )
+        hit_rate = metrics.gauge(
+            "dram.cache.hit_rate", unit="ratio", help="lifetime hit rate"
+        )
+        occupancy = metrics.gauge(
+            "dram.cache.occupancy", unit="lines", help="valid lines held"
+        )
+
+        def _collect() -> None:
+            hits.set(self.hits)
+            misses.set(self.misses)
+            evictions.set(self.evictions)
+            hit_rate.set(self.hit_rate)
+            occupancy.set(self.occupancy())
+
+        metrics.add_collector(_collect)
 
     def __repr__(self) -> str:
         return (

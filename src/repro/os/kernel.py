@@ -27,7 +27,8 @@ Design notes (all mirroring documented kernel behaviour):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from itertools import zip_longest
 
 from repro.dram.cache import CpuCache
 from repro.dram.controller import HammerResult, MemoryController
@@ -49,6 +50,37 @@ from repro.vm.vma import Protection, VmaFlags
 
 # Cost of an access served by the CPU cache (ns of simulated time).
 CACHE_HIT_NS = 1
+
+
+@dataclass
+class EvictHammerResult:
+    """Outcome of one eviction-based hammer call (``sys_hammer_evict``).
+
+    Extends the plain :class:`HammerResult` accounting with the two numbers
+    that distinguish eviction-based hammering from clflush-based hammering:
+    how often the aggressor access actually reached DRAM (the traversal
+    evicted it — ``eviction_accuracy``), and how many row activations were
+    spent on the eviction-set lines themselves rather than the aggressors
+    (``wasted_activations``).
+    """
+
+    rounds: int
+    accesses: int
+    activations: int
+    elapsed_ns: int
+    flips: list = field(default_factory=list)
+    aggressor_accesses: int = 0
+    aggressor_misses: int = 0
+    traversal_accesses: int = 0
+    traversal_misses: int = 0
+    wasted_activations: int = 0
+
+    @property
+    def eviction_accuracy(self) -> float:
+        """Fraction of aggressor accesses that reached DRAM (1.0 = clflush-grade)."""
+        if not self.aggressor_accesses:
+            return 0.0
+        return self.aggressor_misses / self.aggressor_accesses
 
 
 @dataclass
@@ -129,6 +161,9 @@ class Kernel:
         )
         self._m_sys_clflush = sys_counter("os.syscalls", labels={"call": "clflush"})
         self._m_sys_hammer = sys_counter("os.syscalls", labels={"call": "hammer"})
+        self._m_sys_hammer_evict = sys_counter(
+            "os.syscalls", labels={"call": "hammer_evict"}
+        )
         self._m_sys_file_read = sys_counter(
             "os.syscalls", labels={"call": "file_read"}
         )
@@ -531,6 +566,161 @@ class Kernel:
             activations=activations,
             elapsed_ns=cached_accesses * CACHE_HIT_NS,
             flips=[],
+        )
+
+    def sys_hammer_evict(
+        self,
+        pid: int,
+        aggressor_vas: list[int],
+        eviction_vas: list[list[int]],
+        rounds: int,
+        pattern: str = "sequential",
+    ) -> EvictHammerResult:
+        """Hammer without clflush: evict the aggressors by cache-set traversal.
+
+        The Rowhammer.js loop — each round accesses every aggressor and then
+        walks its eviction set (addresses congruent to the aggressor's cache
+        set), so the *next* round's aggressor access misses the LRU cache and
+        reaches DRAM.  ``eviction_vas[i]`` is the set for ``aggressor_vas[i]``;
+        ``pattern`` orders one round's accesses:
+
+        * ``"sequential"`` — ``a0, ev(a0)..., a1, ev(a1)...``;
+        * ``"interleave"`` — both aggressors first, then their set members
+          interleaved round-robin (the double-sided variant).
+
+        The loop is simulated exactly for its first two rounds.  A fixed
+        cyclic reference string through a deterministic LRU cache is periodic
+        with period one after the cold round, so rounds 3..N repeat round 2's
+        hit/miss pattern bit for bit; the remaining rounds replay round 2's
+        missing lines through the controller's bulk hammer path (refresh
+        clipping, TRR and flip evaluation all apply) — aggressor lines first
+        at the flush-path activation rate, then the eviction-set lines whose
+        activations are accounted as ``wasted_activations`` and whose cost is
+        the traversal's simulated-time tail.  An undersized or incongruent
+        set never evicts the aggressor: every steady-round access hits the
+        cache, no activations accumulate, and ``eviction_accuracy`` reads 0.
+        """
+        task = self.task(pid)
+        self._require_running(task)
+        task.syscall_count += 1
+        self.stats.syscalls += 1
+        self._m_sys_hammer_evict.inc()
+        if rounds <= 0:
+            raise ConfigError(f"rounds must be positive, got {rounds}")
+        if not aggressor_vas:
+            raise ConfigError("hammer needs at least one aggressor address")
+        if len(eviction_vas) != len(aggressor_vas):
+            raise ConfigError(
+                f"need one eviction set per aggressor: "
+                f"{len(aggressor_vas)} aggressors, {len(eviction_vas)} sets"
+            )
+        if pattern not in ("sequential", "interleave"):
+            raise ConfigError(
+                f"unknown access pattern {pattern!r}; "
+                f"choose 'sequential' or 'interleave'"
+            )
+        self._pump_chaos("hammer", pid)
+
+        def _translate(va: int) -> int:
+            if not task.mm.page_table.is_mapped(page_align_down(va)):
+                raise FaultError(
+                    f"hammer target va {va:#x} not resident; store data to it first"
+                )
+            return task.mm.page_table.translate(va)
+
+        aggressor_pas = [_translate(va) for va in aggressor_vas]
+        member_pas = [[_translate(va) for va in vas] for vas in eviction_vas]
+
+        # One round's access order, each entry tagged aggressor/traversal.
+        sequence: list[tuple[int, bool]] = []
+        if pattern == "sequential":
+            for pa, members in zip(aggressor_pas, member_pas):
+                sequence.append((pa, True))
+                sequence.extend((m, False) for m in members)
+        else:
+            sequence.extend((pa, True) for pa in aggressor_pas)
+            for group in zip_longest(*member_pas):
+                sequence.extend((m, False) for m in group if m is not None)
+
+        start_ns = self.clock.now_ns
+        aggressor_misses = traversal_misses = 0
+        live_activations = live_wasted = 0
+        steady_agg_misses: list[int] = []
+        steady_trav_misses: list[int] = []
+        steady_hits = 0
+        evictions_before_steady = self.cache.evictions
+        live_rounds = min(rounds, 2)
+        for round_index in range(live_rounds):
+            steady = round_index == 1
+            if steady:
+                evictions_before_steady = self.cache.evictions
+            for pa, is_aggressor in sequence:
+                if self.cache.access(pa):
+                    self.clock.advance(CACHE_HIT_NS)
+                    if steady:
+                        steady_hits += 1
+                    continue
+                if is_aggressor:
+                    aggressor_misses += 1
+                    if steady:
+                        steady_agg_misses.append(pa)
+                else:
+                    traversal_misses += 1
+                    if steady:
+                        steady_trav_misses.append(pa)
+                if self.controller.access(pa):
+                    live_activations += 1
+                    if not is_aggressor:
+                        live_wasted += 1
+        self._account_activations(pid, live_activations)
+
+        total_activations = live_activations
+        wasted_activations = live_wasted
+        flips: list = []
+        remaining = rounds - live_rounds
+        if remaining > 0:
+            steady_evictions = self.cache.evictions - evictions_before_steady
+            aggressor_misses += len(steady_agg_misses) * remaining
+            traversal_misses += len(steady_trav_misses) * remaining
+            # The cache state after each steady round equals the state after
+            # round 2, so only the counters need extrapolating.
+            self.cache.hits += steady_hits * remaining
+            self.cache.misses += (
+                len(steady_agg_misses) + len(steady_trav_misses)
+            ) * remaining
+            self.cache.evictions += steady_evictions * remaining
+            self.clock.advance(steady_hits * remaining * CACHE_HIT_NS)
+            for batch, is_aggressor in (
+                (steady_agg_misses, True),
+                (steady_trav_misses, False),
+            ):
+                if not batch:
+                    continue
+                start_epoch = self.controller.current_refresh_epoch()
+                result = self.controller.hammer(batch, remaining)
+                end_epoch = self.controller.current_refresh_epoch()
+                windows = max(1, end_epoch - start_epoch + 1)
+                share = result.activations // windows
+                for epoch in range(start_epoch, start_epoch + windows):
+                    self.ledger.record(epoch, pid, share)
+                total_activations += result.activations
+                flips.extend(result.flips)
+                if not is_aggressor:
+                    wasted_activations += result.activations
+
+        n_aggressors = len(aggressor_pas)
+        n_traversal = len(sequence) - n_aggressors
+        return EvictHammerResult(
+            rounds=rounds,
+            accesses=rounds * len(sequence),
+            activations=total_activations,
+            elapsed_ns=self.clock.now_ns - start_ns,
+            flips=flips,
+            aggressor_accesses=rounds * n_aggressors,
+            aggressor_misses=aggressor_misses,
+            traversal_accesses=rounds * n_traversal,
+            traversal_misses=traversal_misses,
+            wasted_activations=wasted_activations,
         )
 
     # -- file reads (page cache) ----------------------------------------------------

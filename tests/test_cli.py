@@ -136,7 +136,7 @@ class TestModalityOption:
         assert main(["attack", "--modality", "nope", *self.FAST]) == 2
         err = capsys.readouterr().err
         assert "unknown attack modality 'nope'" in err
-        assert "available: explframe, faultprobe" in err
+        assert "available: evictframe, explframe, faultprobe" in err
 
     def test_single_shot_is_explframe_only(self, capsys):
         code = main(
@@ -153,6 +153,24 @@ class TestModalityOption:
         assert "bits recovered:       4 of 4 targeted" in out
         assert "bit accuracy:         100.00%" in out
         assert "RUN SUCCEEDED:        True" in out
+
+    def test_evictframe_recovers_key(self, capsys):
+        code = main(["attack", "--seed", "7", "--modality", "evictframe", *self.FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "modality:             evictframe" in out
+        assert "KEY RECOVERED:        True" in out
+
+    def test_evict_knobs_require_evictframe(self, capsys):
+        code = main(["attack", "--evict-slack", "4", *self.FAST])
+        assert code == 2
+        assert "--modality evictframe" in capsys.readouterr().err
+        code = main(
+            ["attack", "--modality", "faultprobe", "--evict-pattern", "interleave",
+             *self.FAST]
+        )
+        assert code == 2
+        assert "--modality evictframe" in capsys.readouterr().err
 
     def test_faultprobe_json_report_carries_extra_and_metrics(self, capsys):
         code = main(

@@ -105,3 +105,41 @@ class TestConfig:
 
     def test_repr(self, cache):
         assert "hits=0" in repr(cache)
+
+
+class TestCongruence:
+    """The set-index surface eviction-set derivation builds on."""
+
+    def test_way_stride(self):
+        assert CpuCacheConfig(line_size=64, sets=4, ways=2).way_stride == 256
+        assert CpuCacheConfig().way_stride == 64 * 512
+
+    def test_set_index_matches_placement(self, cache):
+        stride = cache.config.way_stride
+        assert cache.set_index(0) == cache.set_index(stride)
+        assert cache.set_index(0) != cache.set_index(64)
+
+    def test_evictions_counter(self, cache):
+        cache.access(0)
+        cache.access(256)
+        assert cache.evictions == 0
+        cache.access(512)  # overflows the 2-way set
+        assert cache.evictions == 1
+
+
+class TestObsBinding:
+    def test_gauges_reflect_counters(self, cache):
+        from repro.obs import Observability
+
+        obs = Observability()
+        cache.bind_obs(obs)
+        cache.access(0)
+        cache.access(0)
+        cache.access(256)
+        cache.access(512)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["dram.cache.hits"] == 1
+        assert snapshot["dram.cache.misses"] == 3
+        assert snapshot["dram.cache.evictions"] == 1
+        assert snapshot["dram.cache.hit_rate"] == 0.25
+        assert snapshot["dram.cache.occupancy"] == cache.occupancy()
